@@ -1,0 +1,181 @@
+// Package mbsp is a library for multiprocessor scheduling of
+// computational DAGs under memory constraints, reproducing "Multiprocessor
+// Scheduling with Memory Constraints: Fundamental Properties and Finding
+// Optimal Solutions" (Papp, Böhnlein, Yzelman — ICPP 2025).
+//
+// The model (MBSP scheduling) executes a weighted DAG on P processors,
+// each with a private fast memory of capacity r, over a shared unbounded
+// slow memory, with BSP parameters g (cost per transferred unit) and L
+// (synchronization cost). It generalizes multiprocessor red-blue pebbling
+// to weighted DAGs and restricts Multi-BSP to two levels.
+//
+// The package re-exports the library's public surface:
+//
+//   - DAG construction and the benchmark workload generators;
+//   - schedule representation, validation and both cost functions;
+//   - the two-stage baselines (BSPg/Cilk/DFS × clairvoyant/LRU);
+//   - the holistic ILP scheduler and its divide-and-conquer variant;
+//   - an exact single-processor pebbler for ground truth;
+//   - the experiment harness reproducing the paper's tables and figures.
+//
+// See examples/ for runnable end-to-end programs.
+package mbsp
+
+import (
+	"io"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/dnc"
+	"mbsp/internal/exact"
+	"mbsp/internal/experiments"
+	"mbsp/internal/graph"
+	"mbsp/internal/ilpsched"
+	model "mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/refine"
+	"mbsp/internal/twostage"
+	"mbsp/internal/workloads"
+)
+
+// Core model types.
+type (
+	// DAG is a computational DAG with per-node compute weights ω and
+	// memory weights μ.
+	DAG = graph.DAG
+	// Arch is a computing architecture (P, r, g, L).
+	Arch = model.Arch
+	// Schedule is a full MBSP schedule (supersteps of pebbling phases).
+	Schedule = model.Schedule
+	// CostModel selects the synchronous or asynchronous objective.
+	CostModel = model.CostModel
+	// Instance is a named benchmark DAG.
+	Instance = workloads.Instance
+	// BSPSchedule is a stage-1 (memory-oblivious) BSP schedule.
+	BSPSchedule = bsp.Schedule
+)
+
+// Cost models.
+const (
+	Sync  = model.Sync
+	Async = model.Async
+)
+
+// NewDAG returns an empty DAG with the given name.
+func NewDAG(name string) *DAG { return graph.New(name) }
+
+// ReadDAG parses a DAG from the text format (see internal/graph).
+func ReadDAG(r io.Reader) (*DAG, error) { return graph.Read(r) }
+
+// WriteDAG serializes a DAG in the text format.
+func WriteDAG(w io.Writer, g *DAG) error { return graph.Write(w, g) }
+
+// WriteDOT renders a DAG in Graphviz DOT format.
+func WriteDOT(w io.Writer, g *DAG) error { return graph.DOT(w, g) }
+
+// Benchmark datasets (see DESIGN.md for the sizing note).
+var (
+	// Tiny returns the 15-instance counterpart of the paper's smallest
+	// dataset.
+	Tiny = workloads.Tiny
+	// Small returns the 10-instance counterpart of the paper's second
+	// dataset.
+	Small = workloads.Small
+	// PaperTiny and PaperSmall return paper-scale instances for long
+	// offline runs.
+	PaperTiny  = workloads.PaperTiny
+	PaperSmall = workloads.PaperSmall
+	// InstanceByName looks an instance up in any dataset.
+	InstanceByName = workloads.ByName
+)
+
+// ILPOptions configures the holistic ILP scheduler; see
+// internal/ilpsched.Options for field documentation.
+type ILPOptions = ilpsched.Options
+
+// ILPStats reports what the ILP scheduler did.
+type ILPStats = ilpsched.Stats
+
+// ScheduleBaseline runs the paper's main two-stage baseline
+// (BSPg + clairvoyant eviction; DFS + clairvoyant for P=1).
+func ScheduleBaseline(g *DAG, arch Arch) (*Schedule, error) {
+	if arch.P == 1 {
+		return twostage.DFSClairvoyant().Run(g, arch)
+	}
+	return twostage.BSPgClairvoyant(arch.G, arch.L).Run(g, arch)
+}
+
+// ScheduleCilkLRU runs the application-oriented baseline: Cilk-style work
+// stealing plus LRU eviction.
+func ScheduleCilkLRU(g *DAG, arch Arch, seed int64) (*Schedule, error) {
+	return twostage.CilkLRU(seed).Run(g, arch)
+}
+
+// ScheduleILP runs the holistic ILP-based scheduler (warm-started from
+// the baseline unless opts.WarmStart is set). The result is never worse
+// than the warm start under opts.Model.
+func ScheduleILP(g *DAG, arch Arch, opts ILPOptions) (*Schedule, ILPStats, error) {
+	return ilpsched.Solve(g, arch, opts)
+}
+
+// DNCOptions configures the divide-and-conquer ILP scheduler.
+type DNCOptions = dnc.Options
+
+// DNCStats reports a divide-and-conquer run.
+type DNCStats = dnc.Stats
+
+// ScheduleDNC runs the divide-and-conquer ILP scheduler for larger DAGs.
+func ScheduleDNC(g *DAG, arch Arch, opts DNCOptions) (*Schedule, DNCStats, error) {
+	return dnc.Solve(g, arch, opts)
+}
+
+// ExactResult is the outcome of the exact single-processor solver.
+type ExactResult = exact.Result
+
+// SolveExactP1 computes the optimal single-processor pebbling (red-blue
+// pebble game with compute costs) for small DAGs by shortest path over
+// configurations.
+func SolveExactP1(g *DAG, r, gFac float64) (ExactResult, error) {
+	return exact.Solve(g, r, gFac)
+}
+
+// RefineOptions configures the holistic local-search polisher.
+type RefineOptions = refine.Options
+
+// RefineResult reports a local-search run.
+type RefineResult = refine.Result
+
+// Refine improves a schedule by holistic local search over processor
+// assignments.
+func Refine(s *Schedule, opts RefineOptions) RefineResult {
+	return refine.Improve(s, opts)
+}
+
+// Eviction policies for the two-stage pipelines.
+type (
+	// Clairvoyant evicts the value with the furthest next use (Bélády).
+	Clairvoyant = memmgr.Clairvoyant
+	// LRU evicts the least recently used value.
+	LRU = memmgr.LRU
+)
+
+// Experiment harness re-exports.
+type (
+	// ExperimentConfig carries model and budget parameters.
+	ExperimentConfig = experiments.Config
+	// ResultTable is a rendered experiment table.
+	ResultTable = experiments.Table
+	// BoxSummary is a five-number ratio summary (Figure 4).
+	BoxSummary = experiments.BoxSummary
+)
+
+// Experiment entry points; see internal/experiments.
+var (
+	BaseConfig      = experiments.Base
+	RunTable1       = experiments.Table1
+	RunTable2       = experiments.Table2
+	RunTable3       = experiments.Table3
+	RunTable4       = experiments.Table4
+	RunFigure4      = experiments.Figure4
+	RunP1Experiment = experiments.SingleProcessor
+	GeoMean         = experiments.GeoMean
+)

@@ -1,0 +1,130 @@
+// Command mbsp-bench reproduces the paper's evaluation: Tables 1–4,
+// Figure 4, and the single-processor experiment, on the bundled datasets.
+//
+// Usage:
+//
+//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1]
+//	           [-dataset tiny|paper-tiny] [-timeout 2s] [-budget 2000]
+//	           [-csv out.csv]
+//
+// Budgets default to second-scale runs; raise -timeout and -budget (and
+// use -dataset paper-tiny) for runs closer to the paper's 60-minute
+// solver budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mbsp/internal/experiments"
+	"mbsp/internal/workloads"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1")
+		dataset = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4: tiny or paper-tiny")
+		timeout = flag.Duration("timeout", 2*time.Second, "ILP time limit per instance")
+		budget  = flag.Int("budget", 2000, "local-search evaluation budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csvOut  = flag.String("csv", "", "also write the last table as CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := experiments.Base()
+	cfg.ILPTimeLimit = *timeout
+	cfg.LocalSearchBudget = *budget
+	cfg.Seed = *seed
+
+	var insts []workloads.Instance
+	switch *dataset {
+	case "tiny":
+		insts = workloads.Tiny()
+	case "paper-tiny":
+		insts = workloads.PaperTiny()
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	var last *experiments.Table
+	run := func(name string, f func() (*experiments.Table, error)) {
+		start := time.Now()
+		t, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(start).Seconds())
+		last = t
+	}
+
+	switch *exp {
+	case "all":
+		run("table1", func() (*experiments.Table, error) { return experiments.Table1(insts, cfg) })
+		run("table3", func() (*experiments.Table, error) { return experiments.Table3(insts, cfg) })
+		runTable4(insts, cfg)
+		runFigure4(insts, cfg)
+		run("table2", func() (*experiments.Table, error) {
+			return experiments.Table2(workloads.Small(), cfg, 45, *timeout)
+		})
+		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
+	case "table1":
+		run("table1", func() (*experiments.Table, error) { return experiments.Table1(insts, cfg) })
+	case "table2":
+		run("table2", func() (*experiments.Table, error) {
+			return experiments.Table2(workloads.Small(), cfg, 45, *timeout)
+		})
+	case "table3":
+		run("table3", func() (*experiments.Table, error) { return experiments.Table3(insts, cfg) })
+	case "table4":
+		runTable4(insts, cfg)
+	case "figure4":
+		runFigure4(insts, cfg)
+	case "p1":
+		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	if *csvOut != "" && last != nil {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := last.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+}
+
+func runTable4(insts []workloads.Instance, cfg experiments.Config) {
+	start := time.Now()
+	tables, err := experiments.Table4(insts, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range experiments.Table4Variants() {
+		tables[v.Label].Render(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("(table4 took %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+func runFigure4(insts []workloads.Instance, cfg experiments.Config) {
+	start := time.Now()
+	boxes, err := experiments.Figure4(insts, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.RenderBoxes(os.Stdout, boxes)
+	fmt.Printf("(figure4 took %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbsp-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command mbsp-sched schedules a computational DAG on an MBSP
+// architecture and prints the schedule and its cost.
+//
+// Usage:
+//
+//	mbsp-sched -dag file.dag | -instance spmv_N6
+//	           [-method base|cilk|ilp|dnc|exact]
+//	           [-p 4] [-rfactor 3] [-r 0] [-g 1] [-l 10]
+//	           [-model sync|async] [-timeout 5s] [-print]
+//
+// The DAG comes either from a text file (see internal/graph format) or
+// from a named benchmark instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mbsp"
+)
+
+func main() {
+	var (
+		dagFile  = flag.String("dag", "", "DAG file in the text format")
+		instance = flag.String("instance", "", "named benchmark instance (e.g. spmv_N6)")
+		method   = flag.String("method", "ilp", "scheduler: base, cilk, ilp, dnc, exact")
+		p        = flag.Int("p", 4, "number of processors")
+		rfactor  = flag.Float64("rfactor", 3, "fast memory capacity as a multiple of r0")
+		rabs     = flag.Float64("r", 0, "absolute fast memory capacity (overrides -rfactor)")
+		gcost    = flag.Float64("g", 1, "communication cost per memory unit")
+		lcost    = flag.Float64("l", 10, "synchronization cost per superstep")
+		model    = flag.String("model", "sync", "cost model: sync or async")
+		timeout  = flag.Duration("timeout", 5*time.Second, "solver time limit")
+		print    = flag.Bool("print", false, "print the full schedule")
+		seed     = flag.Int64("seed", 1, "random seed for heuristics")
+	)
+	flag.Parse()
+
+	g, err := loadDAG(*dagFile, *instance)
+	if err != nil {
+		fatal(err)
+	}
+	r := *rfactor * g.MinCache()
+	if *rabs > 0 {
+		r = *rabs
+	}
+	arch := mbsp.Arch{P: *p, R: r, G: *gcost, L: *lcost}
+	costModel := mbsp.Sync
+	if *model == "async" {
+		costModel = mbsp.Async
+	}
+	fmt.Printf("dag %s: n=%d m=%d r0=%g\n", g.Name(), g.N(), g.M(), g.MinCache())
+	fmt.Printf("arch %v, model %v\n", arch, costModel)
+
+	var s *mbsp.Schedule
+	switch *method {
+	case "base":
+		s, err = mbsp.ScheduleBaseline(g, arch)
+	case "cilk":
+		s, err = mbsp.ScheduleCilkLRU(g, arch, *seed)
+	case "ilp":
+		var stats mbsp.ILPStats
+		s, stats, err = mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{
+			Model: costModel, TimeLimit: *timeout, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
+				stats.ModelVars, stats.ModelRows, stats.ILPStatus, stats.ILPNodes,
+				stats.WarmCost, stats.FinalCost, stats.Source)
+		}
+	case "dnc":
+		var stats mbsp.DNCStats
+		s, stats, err = mbsp.ScheduleDNC(g, arch, mbsp.DNCOptions{
+			Model: costModel, SubTimeLimit: *timeout, Seed: *seed,
+		})
+		if err == nil {
+			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",
+				stats.Parts, stats.CutEdges, stats.StreamlineWin)
+		}
+	case "exact":
+		var res mbsp.ExactResult
+		res, err = mbsp.SolveExactP1(g, r, *gcost)
+		if err == nil {
+			s = res.Schedule
+			fmt.Printf("exact: optimal cost %g (%d states explored)\n", res.Cost, res.States)
+		}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		fatal(fmt.Errorf("produced schedule invalid: %w", err))
+	}
+	fmt.Printf("supersteps: %d\n", s.NumSupersteps())
+	comp, save, load, del := s.Ops()
+	fmt.Printf("ops: %d computes, %d saves, %d loads, %d deletes\n", comp, save, load, del)
+	fmt.Printf("sync cost:  %g\n", s.SyncCost())
+	fmt.Printf("async cost: %g\n", s.AsyncCost())
+	if *print {
+		fmt.Print(s)
+	}
+}
+
+func loadDAG(file, instance string) (*mbsp.DAG, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return mbsp.ReadDAG(f)
+	case instance != "":
+		inst, err := mbsp.InstanceByName(instance)
+		if err != nil {
+			return nil, err
+		}
+		return inst.DAG, nil
+	default:
+		return nil, fmt.Errorf("provide -dag or -instance")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbsp-sched:", err)
+	os.Exit(1)
+}

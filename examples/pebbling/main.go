@@ -1,0 +1,65 @@
+// Pebbling example: single-processor red-blue pebbling with compute
+// costs (the P=1 case of MBSP). Compares the DFS+clairvoyant baseline,
+// the holistic ILP scheduler, and the exact optimum found by shortest
+// path over pebbling configurations — the paper's P=1 experiment, where
+// the baseline is already near-optimal.
+//
+// Run with: go run ./examples/pebbling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mbsp"
+)
+
+func main() {
+	// A small two-chain DAG with a shared input: with a tight cache the
+	// scheduler must decide what to spill, reload or recompute.
+	g := mbsp.NewDAG("pebbling")
+	x := g.AddNodeLabeled("x", 0, 1)
+	var prevA, prevB = x, x
+	for i := 0; i < 3; i++ {
+		a := g.AddNodeLabeled(fmt.Sprintf("a%d", i), 1, 1)
+		b := g.AddNodeLabeled(fmt.Sprintf("b%d", i), 1, 1)
+		g.AddEdge(prevA, a)
+		g.AddEdge(prevB, b)
+		prevA, prevB = a, b
+	}
+	sink := g.AddNodeLabeled("out", 1, 1)
+	g.AddEdge(prevA, sink)
+	g.AddEdge(prevB, sink)
+
+	r := g.MinCache() // the tightest cache that admits any schedule
+	gFac := 3.0
+	arch := mbsp.Arch{P: 1, R: r, G: gFac, L: 0}
+	fmt.Printf("%s: n=%d, r=r0=%g, g=%g\n\n", g.Name(), g.N(), r, gFac)
+
+	base, err := mbsp.ScheduleBaseline(g, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DFS + clairvoyant: cost %g\n", base.SyncCost())
+
+	ilp, _, err := mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{TimeLimit: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("holistic ILP:      cost %g\n", ilp.SyncCost())
+
+	ex, err := mbsp.SolveExactP1(g, r, gFac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact optimum:     cost %g (%d states explored)\n\n", ex.Cost, ex.States)
+
+	if base.SyncCost() == ex.Cost {
+		fmt.Println("The DFS baseline is optimal here — matching the paper's")
+		fmt.Println("observation that at P=1 the ILP rarely improves on it.")
+	} else {
+		fmt.Printf("Gap to optimal: baseline %.1f%%, ILP %.1f%%\n",
+			100*(base.SyncCost()/ex.Cost-1), 100*(ilp.SyncCost()/ex.Cost-1))
+	}
+}

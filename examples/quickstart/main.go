@@ -1,0 +1,62 @@
+// Quickstart: build a small computational DAG, schedule it with the
+// two-stage baseline and with the holistic ILP method, and compare costs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mbsp"
+)
+
+func main() {
+	// A toy computation: two inputs feed a small reduction.
+	//
+	//	x0  x1        (inputs, loaded from slow memory)
+	//	| \/ |
+	//	a    b        (ω=2 each)
+	//	 \  /
+	//	  c           (ω=1, the output)
+	g := mbsp.NewDAG("quickstart")
+	x0 := g.AddNodeLabeled("x0", 0, 2)
+	x1 := g.AddNodeLabeled("x1", 0, 2)
+	a := g.AddNodeLabeled("a", 2, 1)
+	b := g.AddNodeLabeled("b", 2, 1)
+	c := g.AddNodeLabeled("c", 1, 1)
+	g.AddEdge(x0, a)
+	g.AddEdge(x1, a)
+	g.AddEdge(x0, b)
+	g.AddEdge(x1, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two processors, each with a cache of 3·r0, unit communication cost
+	// and synchronization cost 2.
+	arch := mbsp.Arch{P: 2, R: 3 * g.MinCache(), G: 1, L: 2}
+	fmt.Printf("%s: n=%d, r0=%g, %v\n\n", g.Name(), g.N(), g.MinCache(), arch)
+
+	base, err := mbsp.ScheduleBaseline(g, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-stage baseline:  sync cost %5.1f  (%d supersteps)\n",
+		base.SyncCost(), base.NumSupersteps())
+
+	ilp, stats, err := mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{
+		TimeLimit: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("holistic ILP:        sync cost %5.1f  (%d supersteps, %s)\n\n",
+		ilp.SyncCost(), ilp.NumSupersteps(), stats.ILPStatus)
+
+	fmt.Println("ILP schedule:")
+	fmt.Print(ilp)
+}

@@ -1,0 +1,221 @@
+package mbsp
+
+import (
+	"math"
+	"testing"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/graph"
+	model "mbsp/internal/mbsp"
+)
+
+// realizeBSP turns an explicit (processor, superstep) placement into an
+// MBSP schedule while preserving the superstep alignment exactly (the
+// operational two-stage converter would compress deliberate idling, which
+// the Lemma 5.3/5.4 constructions rely on). It assumes r is large enough
+// to keep every value resident: no deletions, every computed value is
+// saved, and every processor loads a value in the superstep before its
+// first local use.
+func realizeBSP(b *bsp.Schedule, arch model.Arch) (*model.Schedule, error) {
+	g := b.Graph
+	s := model.NewSchedule(g, arch)
+	order := b.ComputeOrder()
+	// needAt[p][t]: values that must be red on p before superstep t's
+	// computes (1-based MBSP supersteps; superstep 0 is load-only).
+	numSteps := b.NumSteps
+	red := make([]map[int]bool, arch.P)
+	for p := range red {
+		red[p] = map[int]bool{}
+	}
+	// Superstep 0: load all source values each processor ever consumes.
+	st0 := s.AddSuperstep()
+	for p := 0; p < arch.P; p++ {
+		seen := map[int]bool{}
+		for t := 0; t < numSteps; t++ {
+			for _, v := range order[p][t] {
+				for _, u := range g.Parents(v) {
+					if g.IsSource(u) && !seen[u] {
+						seen[u] = true
+						st0.Procs[p].Load = append(st0.Procs[p].Load, u)
+						red[p][u] = true
+					}
+				}
+			}
+		}
+	}
+	for t := 0; t < numSteps; t++ {
+		st := s.AddSuperstep()
+		for p := 0; p < arch.P; p++ {
+			for _, v := range order[p][t] {
+				st.Procs[p].Comp = append(st.Procs[p].Comp, model.Op{Kind: model.OpCompute, Node: v})
+				red[p][v] = true
+			}
+			// Save everything computed this superstep (r is unbounded
+			// and the lemma architectures have g=0, so this is free and
+			// keeps every cross-processor consumer satisfiable).
+			for _, v := range order[p][t] {
+				st.Procs[p].Save = append(st.Procs[p].Save, v)
+			}
+		}
+		// Load phase: fetch parents needed by the next superstep.
+		if t+1 < numSteps {
+			for p := 0; p < arch.P; p++ {
+				for _, v := range order[p][t+1] {
+					for _, u := range g.Parents(v) {
+						if !red[p][u] {
+							st.Procs[p].Load = append(st.Procs[p].Load, u)
+							red[p][u] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return s, s.Validate()
+}
+
+// buildSyncGapSchedule realizes the Lemma 5.3 schedules: pair i's chains
+// run on processors i and P'+i; with aligned=false every pair computes
+// position j in superstep j (the asynchronous optimum), with aligned=true
+// pair i starts P'−1−i supersteps later so all heavy nodes share one
+// superstep. Architecture: r effectively unbounded, g=0, L=0.
+func buildSyncGapSchedule(gg *graph.SyncGapGadget, aligned bool) (*model.Schedule, error) {
+	g := gg.DAG
+	pp := gg.P / 2
+	b := bsp.NewSchedule(g, gg.P)
+	for i := 0; i < pp; i++ {
+		shift := 0
+		if aligned {
+			shift = pp - 1 - i
+		}
+		for j := 0; j < pp; j++ {
+			b.Assign(gg.U[i][j], i, shift+j)
+			b.Assign(gg.V[i][j], pp+i, shift+j)
+		}
+	}
+	arch := model.Arch{P: gg.P, R: g.TotalMem() + 1, G: 0, L: 0}
+	return realizeBSP(b, arch)
+}
+
+// buildAsyncGapSchedule realizes the Lemma 5.4 schedules on P=5:
+// syncOptimal=true places w with u1,u2 and v1 with u3,u4 (the
+// synchronous optimum, cost 4Z−2 in both models); syncOptimal=false
+// places v1 and w in the first superstep (asynchronous cost 3Z−1).
+func buildAsyncGapSchedule(gg *graph.AsyncGapGadget, syncOptimal bool) (*model.Schedule, error) {
+	g := gg.DAG
+	b := bsp.NewSchedule(g, 5)
+	if syncOptimal {
+		b.Assign(gg.U1, 0, 0)
+		b.Assign(gg.U2, 1, 0)
+		b.Assign(gg.W, 2, 0)
+		b.Assign(gg.U3, 0, 1)
+		b.Assign(gg.U4, 1, 1)
+		b.Assign(gg.V1, 2, 1)
+		b.Assign(gg.V2, 2, 2)
+		b.Assign(gg.V3, 3, 2)
+		b.Assign(gg.V4, 4, 2)
+	} else {
+		b.Assign(gg.U1, 0, 0)
+		b.Assign(gg.U2, 1, 0)
+		b.Assign(gg.V1, 2, 0)
+		b.Assign(gg.W, 3, 0)
+		b.Assign(gg.U3, 0, 1)
+		b.Assign(gg.U4, 1, 1)
+		b.Assign(gg.V2, 2, 1)
+		b.Assign(gg.V3, 3, 1)
+		b.Assign(gg.V4, 4, 1)
+	}
+	arch := model.Arch{P: 5, R: g.TotalMem() + 1, G: 0, L: 0}
+	return realizeBSP(b, arch)
+}
+
+// TestLemma53SyncAsyncDivergence verifies the Lemma 5.3 construction: the
+// two alignments tie asynchronously, but the misaligned one costs ≈ P'·Z
+// synchronously against ≈ Z for the aligned one, so the ratio approaches
+// P/2 as Z grows.
+func TestLemma53SyncAsyncDivergence(t *testing.T) {
+	for _, z := range []float64{20, 100, 500} {
+		gg := graph.NewSyncGapGadget(6, z)
+		mis, err := buildSyncGapSchedule(gg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ali, err := buildSyncGapSchedule(gg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mis.AsyncCost()-ali.AsyncCost()) > 1e-9 {
+			t.Fatalf("z=%g: async costs differ: %g vs %g", z, mis.AsyncCost(), ali.AsyncCost())
+		}
+		pp := 3.0
+		wantMis := pp * z
+		if math.Abs(mis.SyncCost()-wantMis) > 1e-9 {
+			t.Fatalf("z=%g: misaligned sync cost %g want %g", z, mis.SyncCost(), wantMis)
+		}
+		wantAli := z + 2*pp - 2
+		if math.Abs(ali.SyncCost()-wantAli) > 1e-9 {
+			t.Fatalf("z=%g: aligned sync cost %g want %g", z, ali.SyncCost(), wantAli)
+		}
+	}
+	// Ratio approaches P/2 = 3.
+	gg := graph.NewSyncGapGadget(6, 1e6)
+	mis, _ := buildSyncGapSchedule(gg, false)
+	ali, _ := buildSyncGapSchedule(gg, true)
+	if r := mis.SyncCost() / ali.SyncCost(); r < 2.99 {
+		t.Fatalf("ratio %g should approach 3", r)
+	}
+}
+
+// TestLemma54SyncAsyncDivergence verifies the Lemma 5.4 construction: the
+// synchronous optimum is a 4/3−ε factor from the asynchronous optimum.
+func TestLemma54SyncAsyncDivergence(t *testing.T) {
+	z := 1000.0
+	gg := graph.NewAsyncGapGadget(z)
+	syncOpt, err := buildAsyncGapSchedule(gg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncOpt, err := buildAsyncGapSchedule(gg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(syncOpt.SyncCost()-(4*z-2)) > 1e-9 {
+		t.Fatalf("sync-optimal sync cost %g want %g", syncOpt.SyncCost(), 4*z-2)
+	}
+	if math.Abs(syncOpt.AsyncCost()-(4*z-2)) > 1e-9 {
+		t.Fatalf("sync-optimal async cost %g want %g", syncOpt.AsyncCost(), 4*z-2)
+	}
+	if math.Abs(asyncOpt.AsyncCost()-(3*z-1)) > 1e-9 {
+		t.Fatalf("async-optimal async cost %g want %g", asyncOpt.AsyncCost(), 3*z-1)
+	}
+	// The sync-optimal placement also wins synchronously.
+	if asyncOpt.SyncCost() <= syncOpt.SyncCost() {
+		t.Fatalf("placement B sync cost %g should exceed A's %g", asyncOpt.SyncCost(), syncOpt.SyncCost())
+	}
+	ratio := syncOpt.AsyncCost() / asyncOpt.AsyncCost()
+	if ratio < 4.0/3-0.01 || ratio > 4.0/3+0.01 {
+		t.Fatalf("ratio %g should be near 4/3", ratio)
+	}
+}
+
+// TestTheorem41GapGrowsLinearly asserts the empirical Theorem 4.1 ratio
+// grows with d.
+func TestTheorem41GapGrowsLinearly(t *testing.T) {
+	var ratios []float64
+	for _, d := range []int{3, 6, 12} {
+		two, holo, err := TwoStageGapCosts(d, 3*d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, two/holo)
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] <= ratios[i-1] {
+			t.Fatalf("gap ratios not increasing: %v", ratios)
+		}
+	}
+	// Doubling d should substantially grow the ratio (linear trend).
+	if ratios[2] < 1.5*ratios[0] {
+		t.Fatalf("gap growth too weak for a linear trend: %v", ratios)
+	}
+}

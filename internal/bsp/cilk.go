@@ -1,0 +1,132 @@
+package bsp
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"mbsp/internal/graph"
+)
+
+// Cilk simulates a Cilk-style randomized work-stealing execution of the
+// DAG on p workers and converts the resulting node→worker assignment to a
+// BSP schedule. Each worker owns a deque: finishing a node pushes newly
+// enabled children to the bottom; an idle worker pops from its own
+// bottom, or steals from the top of a random victim. The simulation is
+// deterministic for a fixed seed.
+func Cilk(g *graph.DAG, p int, seed int64) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	proc := make([]int, n)
+	for v := range proc {
+		proc[v] = -1
+	}
+	remaining := make([]int, n) // non-source parents not yet finished
+	compNodes := 0
+	for v := 0; v < n; v++ {
+		if g.IsSource(v) {
+			continue
+		}
+		compNodes++
+		for _, u := range g.Parents(v) {
+			if !g.IsSource(u) {
+				remaining[v]++
+			}
+		}
+	}
+	deque := make([][]int, p)
+	// Initially enabled nodes are dealt round-robin, as if spawned by a
+	// root task.
+	w := 0
+	for _, v := range g.MustTopoOrder() {
+		if !g.IsSource(v) && remaining[v] == 0 {
+			deque[w] = append(deque[w], v)
+			w = (w + 1) % p
+		}
+	}
+
+	pq := &eventHeap{}
+	busy := make([]bool, p)
+	done := 0
+
+	// tryStart gives the worker a node: its own deque bottom first, then
+	// steal attempts from random victims' tops.
+	tryStart := func(worker int, now float64) {
+		if busy[worker] {
+			return
+		}
+		v := -1
+		if len(deque[worker]) > 0 {
+			v = deque[worker][len(deque[worker])-1]
+			deque[worker] = deque[worker][:len(deque[worker])-1]
+		} else {
+			for trial := 0; trial < 2*p && v < 0; trial++ {
+				victim := rng.Intn(p)
+				if victim != worker && len(deque[victim]) > 0 {
+					v = deque[victim][0]
+					deque[victim] = deque[victim][1:]
+				}
+			}
+			if v < 0 {
+				for victim := 0; victim < p && v < 0; victim++ {
+					if len(deque[victim]) > 0 {
+						v = deque[victim][0]
+						deque[victim] = deque[victim][1:]
+					}
+				}
+			}
+		}
+		if v < 0 {
+			return
+		}
+		proc[v] = worker
+		busy[worker] = true
+		heap.Push(pq, event{t: now + g.Comp(v), w: worker, node: v})
+	}
+
+	for q := 0; q < p; q++ {
+		tryStart(q, 0)
+	}
+	for done < compNodes {
+		if pq.Len() == 0 {
+			panic("bsp: cilk simulation deadlock")
+		}
+		ev := heap.Pop(pq).(event)
+		busy[ev.w] = false
+		done++
+		for _, c := range g.Children(ev.node) {
+			remaining[c]--
+			if remaining[c] == 0 {
+				deque[ev.w] = append(deque[ev.w], c)
+			}
+		}
+		// Finished worker continues, then idle workers try to steal the
+		// newly exposed work.
+		tryStart(ev.w, ev.t)
+		for q := 0; q < p; q++ {
+			tryStart(q, ev.t)
+		}
+	}
+	return FromAssignment(g, p, proc)
+}
+
+type event struct {
+	t    float64
+	w    int
+	node int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].w < h[j].w)
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

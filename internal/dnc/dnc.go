@@ -1,0 +1,336 @@
+// Package dnc implements the paper's divide-and-conquer ILP scheduler
+// (Section 6.3 / Appendix C.2) for DAGs too large for the full ILP:
+//
+//  1. the DAG is split by recursive ILP-based acyclic bipartitioning into
+//     parts of bounded size;
+//  2. a high-level plan orders the parts topologically (we schedule the
+//     parts sequentially, each with the full processor set — the paper's
+//     "close to sequential" case; its multi-processor quotient plan is a
+//     refinement on top of this);
+//  3. each part becomes an MBSP subproblem: nodes of earlier parts that
+//     feed the part appear as loadable inputs, and values consumed by
+//     later parts must be saved to slow memory (NeedBlue); each
+//     subproblem is solved with the ILP scheduler, warm-started from a
+//     two-stage sub-baseline;
+//  4. the subschedules are concatenated, caches are flushed at part
+//     borders, and a streamlining pass merges adjacent supersteps and
+//     cancels delete/load pairs introduced by the split.
+//
+// As in the paper, this is a heuristic: each sub-ILP optimizes its own
+// window, so the concatenation can be worse than the plain two-stage
+// baseline on graphs that do not partition well.
+package dnc
+
+import (
+	"fmt"
+	"time"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/graph"
+	"mbsp/internal/ilpsched"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/partition"
+	"mbsp/internal/twostage"
+)
+
+// Options configures the divide-and-conquer scheduler.
+type Options struct {
+	Model mbsp.CostModel
+	// MaxPartSize bounds subproblem DAG size (the paper splits to parts
+	// of at most 60 nodes). Default 45.
+	MaxPartSize int
+	// SubTimeLimit bounds each sub-ILP solve (the paper uses 30 minutes
+	// per subproblem with a commercial solver). Default 3s.
+	SubTimeLimit time.Duration
+	// PartitionTimeLimit bounds each bipartition ILP. Default 2s.
+	PartitionTimeLimit time.Duration
+	// GreedyPartition switches to the heuristic partitioner (ablation).
+	GreedyPartition bool
+	// LocalSearchBudget for each sub-ILP's primal heuristic.
+	LocalSearchBudget int
+	Seed              int64
+	Logf              func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPartSize == 0 {
+		o.MaxPartSize = 45
+	}
+	if o.SubTimeLimit == 0 {
+		o.SubTimeLimit = 3 * time.Second
+	}
+	if o.PartitionTimeLimit == 0 {
+		o.PartitionTimeLimit = 2 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// Stats reports what the divide-and-conquer run did.
+type Stats struct {
+	Parts         int
+	CutEdges      int
+	SubILPStats   []ilpsched.Stats
+	FinalCost     float64
+	StreamlineWin float64 // cost reduction achieved by streamlining
+}
+
+// Solve schedules g on arch with the divide-and-conquer ILP method.
+func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, error) {
+	opts = opts.withDefaults()
+	var stats Stats
+	if g.MinCache() > arch.R {
+		return nil, stats, twostage.ErrCacheTooSmall
+	}
+
+	pres, err := partition.Recursive(g, partition.RecursiveOptions{
+		MaxPartSize: opts.MaxPartSize,
+		UseILP:      !opts.GreedyPartition,
+		TimeLimit:   opts.PartitionTimeLimit,
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("dnc: partitioning: %w", err)
+	}
+	stats.Parts = pres.K
+	stats.CutEdges = pres.CutEdges
+	parts := partition.Parts(pres.Part, pres.K)
+
+	out := mbsp.NewSchedule(g, arch)
+	for k, nodes := range parts {
+		sub, schedErr := schedulePart(g, arch, opts, pres.Part, k, nodes, &stats)
+		if schedErr != nil {
+			return nil, stats, fmt.Errorf("dnc: part %d: %w", k, schedErr)
+		}
+		out.Steps = append(out.Steps, sub.Steps...)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("dnc: concatenated schedule invalid: %w", err)
+	}
+	before := out.Cost(opts.Model)
+	streamline(out, opts.Model)
+	stats.StreamlineWin = before - out.Cost(opts.Model)
+	stats.FinalCost = out.Cost(opts.Model)
+	return out, stats, nil
+}
+
+// schedulePart builds and solves the subproblem of part k and returns its
+// subschedule translated to global node ids, ending with a cache flush.
+func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int, nodes []int, stats *Stats) (*mbsp.Schedule, error) {
+	// Sub-DAG: the part plus boundary inputs from earlier parts (which
+	// become sources of the sub-DAG, i.e. loadable values).
+	inSet := map[int]bool{}
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	var boundary []int
+	bSet := map[int]bool{}
+	for _, v := range nodes {
+		for _, u := range g.Parents(v) {
+			if !inSet[u] && !bSet[u] {
+				bSet[u] = true
+				boundary = append(boundary, u)
+			}
+		}
+	}
+	// Build the sub-DAG manually: boundary inputs become bare sources
+	// (edges between two boundary nodes are dropped — both values are
+	// already in slow memory, so inside this window they are plain
+	// inputs).
+	sub := graph.New(fmt.Sprintf("%s/part%d", g.Name(), k))
+	orig := make([]int, 0, len(boundary)+len(nodes))
+	toSub := make(map[int]int, len(boundary)+len(nodes))
+	for _, u := range boundary {
+		toSub[u] = sub.AddNodeLabeled(g.Label(u), g.Comp(u), g.Mem(u))
+		orig = append(orig, u)
+	}
+	for _, v := range nodes {
+		toSub[v] = sub.AddNodeLabeled(g.Label(v), g.Comp(v), g.Mem(v))
+		orig = append(orig, v)
+	}
+	for _, v := range nodes {
+		for _, u := range g.Parents(v) {
+			sub.AddEdge(toSub[u], toSub[v])
+		}
+	}
+	// A part-k node with all parents outside the part would look like a
+	// sub-source (never computed). Parts are built from non-trivial DAGs,
+	// so give such nodes a zero-weight anchor edge from a boundary or
+	// in-part parent — impossible by construction: a non-source global
+	// node always has parents, which are all in toSub. A global source
+	// inside the part stays a source, which is correct.
+	for _, v := range nodes {
+		if !g.IsSource(v) && sub.IsSource(toSub[v]) {
+			return nil, fmt.Errorf("internal: node %d lost its parents in the sub-DAG", v)
+		}
+	}
+	// Values needed by later parts (or globally sinks) must end blue.
+	var needBlue []int
+	extraSave := map[int]bool{}
+	for _, v := range nodes {
+		if g.IsSource(v) {
+			continue
+		}
+		needed := g.IsSink(v)
+		for _, w := range g.Children(v) {
+			if part[w] > k {
+				needed = true
+			}
+		}
+		if needed && !sub.IsSink(toSub[v]) {
+			needBlue = append(needBlue, toSub[v])
+			extraSave[toSub[v]] = true
+		} else if needed {
+			// Sub-sinks are saved by construction; still force the save
+			// in the warm start for safety.
+			extraSave[toSub[v]] = true
+		}
+	}
+
+	// Warm start: two-stage baseline on the sub-DAG with forced saves.
+	var warm *mbsp.Schedule
+	var err error
+	var extraSaveList []int
+	for v := range extraSave {
+		extraSaveList = append(extraSaveList, v)
+	}
+	if arch.P == 1 {
+		warm, err = twostage.ConvertExtra(bsp.DFS(sub), arch, memmgr.Clairvoyant{}, extraSaveList)
+	} else {
+		b := bsp.BSPg(sub, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		warm, err = twostage.ConvertExtra(b, arch, memmgr.Clairvoyant{}, extraSaveList)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sub-baseline: %w", err)
+	}
+
+	subSched, subStats, err := ilpsched.Solve(sub, arch, ilpsched.Options{
+		Model:             opts.Model,
+		WarmStart:         warm,
+		NeedBlue:          needBlue,
+		TimeLimit:         opts.SubTimeLimit,
+		LocalSearchBudget: opts.LocalSearchBudget,
+		Seed:              opts.Seed + int64(k),
+		Logf:              opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.SubILPStats = append(stats.SubILPStats, subStats)
+
+	// Translate to global ids.
+	glob := mbsp.NewSchedule(g, arch)
+	for i := range subSched.Steps {
+		st := glob.AddSuperstep()
+		for p := range subSched.Steps[i].Procs {
+			src := &subSched.Steps[i].Procs[p]
+			dst := &st.Procs[p]
+			for _, op := range src.Comp {
+				dst.Comp = append(dst.Comp, mbsp.Op{Kind: op.Kind, Node: orig[op.Node]})
+			}
+			for _, v := range src.Save {
+				dst.Save = append(dst.Save, orig[v])
+			}
+			for _, v := range src.Del {
+				dst.Del = append(dst.Del, orig[v])
+			}
+			for _, v := range src.Load {
+				dst.Load = append(dst.Load, orig[v])
+			}
+		}
+	}
+	// Flush all remaining red pebbles so the next part starts from a
+	// clean cache (streamlining later cancels flush/reload pairs).
+	reds, err := subSched.FinalRedSets()
+	if err != nil {
+		return nil, fmt.Errorf("replaying subschedule: %w", err)
+	}
+	if len(glob.Steps) > 0 {
+		last := &glob.Steps[len(glob.Steps)-1]
+		for p, vs := range reds {
+			for _, v := range vs {
+				already := false
+				for _, d := range last.Procs[p].Del {
+					if d == orig[v] {
+						already = true
+					}
+				}
+				if !already {
+					last.Procs[p].Del = append(last.Procs[p].Del, orig[v])
+				}
+			}
+		}
+	}
+	return glob, nil
+}
+
+// streamline merges adjacent supersteps when valid and not more
+// expensive, and cancels delete/load pairs at part borders: if processor
+// p deletes v in superstep i and loads v in superstep j > i with no
+// intervening activity on v at p, both operations are dropped when the
+// schedule stays valid.
+func streamline(s *mbsp.Schedule, model mbsp.CostModel) {
+	cancelDeleteLoadPairs(s)
+	cost := s.Cost(model)
+	for i := 0; i+1 < len(s.Steps); {
+		trial := s.Clone()
+		mergeSteps(trial, i)
+		if trial.Validate() == nil {
+			if c := trial.Cost(model); c <= cost+1e-9 {
+				*s = *trial
+				cost = c
+				continue
+			}
+		}
+		i++
+	}
+}
+
+func cancelDeleteLoadPairs(s *mbsp.Schedule) {
+	type key struct{ p, v int }
+	pendingDel := map[key][2]int{} // -> (superstep, del index)
+	for i := range s.Steps {
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			// Any activity on v cancels a pending deletion match.
+			for _, op := range ps.Comp {
+				delete(pendingDel, key{p, op.Node})
+			}
+			for _, v := range ps.Save {
+				delete(pendingDel, key{p, v})
+			}
+			for li, v := range ps.Load {
+				if rec, ok := pendingDel[key{p, v}]; ok {
+					trial := s.Clone()
+					dst := &trial.Steps[rec[0]].Procs[p]
+					dst.Del = append(dst.Del[:rec[1]], dst.Del[rec[1]+1:]...)
+					lst := &trial.Steps[i].Procs[p]
+					lst.Load = append(lst.Load[:li], lst.Load[li+1:]...)
+					if trial.Validate() == nil {
+						*s = *trial
+						// Indices changed; restart the scan.
+						cancelDeleteLoadPairs(s)
+						return
+					}
+					delete(pendingDel, key{p, v})
+				}
+			}
+			for di, v := range ps.Del {
+				pendingDel[key{p, v}] = [2]int{i, di}
+			}
+		}
+	}
+}
+
+func mergeSteps(s *mbsp.Schedule, i int) {
+	a, b := &s.Steps[i], &s.Steps[i+1]
+	for p := range a.Procs {
+		a.Procs[p].Comp = append(a.Procs[p].Comp, b.Procs[p].Comp...)
+		a.Procs[p].Save = append(a.Procs[p].Save, b.Procs[p].Save...)
+		a.Procs[p].Del = append(a.Procs[p].Del, b.Procs[p].Del...)
+		a.Procs[p].Load = append(a.Procs[p].Load, b.Procs[p].Load...)
+	}
+	s.Steps = append(s.Steps[:i+1], s.Steps[i+2:]...)
+}

@@ -1,0 +1,122 @@
+package dnc
+
+import (
+	"testing"
+	"time"
+
+	"mbsp/internal/mbsp"
+	"mbsp/internal/twostage"
+	"mbsp/internal/workloads"
+)
+
+func TestSolveValidOnSmallInstances(t *testing.T) {
+	for _, inst := range workloads.Small()[:4] {
+		arch := mbsp.Arch{P: 4, R: 5 * inst.DAG.MinCache(), G: 1, L: 10}
+		s, stats, err := Solve(inst.DAG, arch, Options{
+			MaxPartSize:        20,
+			SubTimeLimit:       500 * time.Millisecond,
+			PartitionTimeLimit: time.Second,
+			LocalSearchBudget:  50,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := s.CheckComputesAll(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if stats.Parts < 2 {
+			t.Fatalf("%s: expected multiple parts, got %d", inst.Name, stats.Parts)
+		}
+		t.Logf("%s: parts=%d cut=%d cost=%g (streamline won %g)",
+			inst.Name, stats.Parts, stats.CutEdges, stats.FinalCost, stats.StreamlineWin)
+	}
+}
+
+func TestSolveComparableToBaseline(t *testing.T) {
+	// The D&C heuristic may win or lose vs the two-stage baseline (the
+	// paper reports both), but it must stay within a sane factor.
+	inst, err := workloads.ByName("spmv_N25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 4, R: 5 * inst.DAG.MinCache(), G: 1, L: 10}
+	base, err := twostage.BSPgClairvoyant(1, 10).Run(inst.DAG, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Solve(inst.DAG, arch, Options{
+		SubTimeLimit:       500 * time.Millisecond,
+		PartitionTimeLimit: time.Second,
+		LocalSearchBudget:  1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := s.SyncCost() / base.SyncCost()
+	t.Logf("dnc/base ratio = %.3f", ratio)
+	// The D&C heuristic may lose to the baseline (the paper reports
+	// losses up to 1.29x at 30-minute sub-solves; our budgets are three
+	// orders of magnitude smaller), but it must stay within a sane band.
+	if ratio > 2.0 {
+		t.Fatalf("D&C cost %g more than 2x baseline %g", s.SyncCost(), base.SyncCost())
+	}
+}
+
+func TestSolveGreedyPartitionAblation(t *testing.T) {
+	inst, err := workloads.ByName("exp_N10_K8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 4, R: 5 * inst.DAG.MinCache(), G: 1, L: 10}
+	s, stats, err := Solve(inst.DAG, arch, Options{
+		MaxPartSize:     20,
+		GreedyPartition: true,
+		SubTimeLimit:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range stats.SubILPStats {
+		if sub.FinalCost > sub.WarmCost+1e-9 {
+			t.Fatalf("sub-ILP made things worse: %+v", sub)
+		}
+	}
+}
+
+func TestSolveTinyDAGSinglePart(t *testing.T) {
+	inst, err := workloads.ByName("spmv_N6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 2, R: 3 * inst.DAG.MinCache(), G: 1, L: 10}
+	s, stats, err := Solve(inst.DAG, arch, Options{
+		MaxPartSize:  100, // whole DAG in one part
+		SubTimeLimit: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Parts != 1 {
+		t.Fatalf("parts=%d want 1", stats.Parts)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRejectsTooSmallCache(t *testing.T) {
+	inst, err := workloads.ByName("spmv_N6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 2, R: inst.DAG.MinCache() - 1, G: 1, L: 10}
+	if _, _, err := Solve(inst.DAG, arch, Options{}); err == nil {
+		t.Fatal("expected cache error")
+	}
+}

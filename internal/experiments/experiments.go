@@ -1,0 +1,234 @@
+// Package experiments reproduces the paper's evaluation (Section 7 /
+// Appendix D): the baseline-vs-ILP comparisons of Tables 1 and 3, the
+// parameter sweep of Table 4, the divide-and-conquer comparison of Table
+// 2, the cost-ratio distributions of Figure 4, and the single-processor
+// and no-recomputation side experiments.
+//
+// Budgets are configurable: the paper ran a commercial solver for 60
+// minutes per instance on 64 cores, while the defaults here are tuned for
+// second-scale runs with the bundled solver (see DESIGN.md).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mbsp/internal/bounds"
+	"mbsp/internal/bsp"
+	"mbsp/internal/graph"
+	"mbsp/internal/ilpsched"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/twostage"
+	"mbsp/internal/workloads"
+)
+
+// Config carries the model and budget parameters of one experiment.
+type Config struct {
+	P       int
+	RFactor float64 // r = RFactor · r0
+	G       float64
+	L       float64
+	Model   mbsp.CostModel
+
+	ILPTimeLimit      time.Duration // per instance
+	LocalSearchBudget int
+	Seed              int64
+}
+
+// Base returns the paper's main configuration (P=4, r=3·r0, g=1, L=10,
+// synchronous) with bench-friendly budgets.
+func Base() Config {
+	return Config{
+		P: 4, RFactor: 3, G: 1, L: 10, Model: mbsp.Sync,
+		ILPTimeLimit: 2 * time.Second, LocalSearchBudget: 2000, Seed: 1,
+	}
+}
+
+// Arch builds the mbsp.Arch for an instance under this configuration.
+func (c Config) Arch(g *graph.DAG) mbsp.Arch {
+	return mbsp.Arch{P: c.P, R: c.RFactor * g.MinCache(), G: c.G, L: c.L}
+}
+
+// Row is one instance's results across methods, in method order.
+type Row struct {
+	Instance string
+	Costs    []float64
+}
+
+// Table is a named set of rows with one column per method.
+type Table struct {
+	Name    string
+	Methods []string
+	Rows    []Row
+}
+
+// Ratio returns cost(numMethod)/cost(denMethod) per row.
+func (t *Table) Ratio(numMethod, denMethod string) []float64 {
+	ni, di := -1, -1
+	for i, m := range t.Methods {
+		if m == numMethod {
+			ni = i
+		}
+		if m == denMethod {
+			di = i
+		}
+	}
+	if ni < 0 || di < 0 {
+		panic(fmt.Sprintf("experiments: unknown methods %q/%q", numMethod, denMethod))
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.Costs[ni] / r.Costs[di]
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Method is a named scheduler.
+type Method struct {
+	Name string
+	Run  func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error)
+}
+
+// Baseline is the paper's main baseline: BSPg + clairvoyant (DFS +
+// clairvoyant for P=1).
+func Baseline() Method {
+	return Method{Name: "base", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		if arch.P == 1 {
+			return twostage.DFSClairvoyant().Run(g, arch)
+		}
+		return twostage.BSPgClairvoyant(arch.G, arch.L).Run(g, arch)
+	}}
+}
+
+// ILPMethod is the holistic ILP scheduler warm-started from the main
+// baseline.
+func ILPMethod() Method {
+	return Method{Name: "ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		s, _, err := ilpsched.Solve(g, arch, ilpsched.Options{
+			Model:             cfg.Model,
+			TimeLimit:         cfg.ILPTimeLimit,
+			LocalSearchBudget: cfg.LocalSearchBudget,
+			Seed:              cfg.Seed,
+		})
+		return s, err
+	}}
+}
+
+// CilkLRUMethod is the application-oriented weak baseline.
+func CilkLRUMethod() Method {
+	return Method{Name: "cilk+lru", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		return twostage.CilkLRU(cfg.Seed).Run(g, arch)
+	}}
+}
+
+// BSPILPBaseline is the stronger two-stage baseline: ILP-based BSP
+// scheduling plus the clairvoyant policy.
+func BSPILPBaseline() Method {
+	return Method{Name: "bsp-ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
+			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit,
+		})
+		return twostage.Convert(b, arch, memmgr.Clairvoyant{})
+	}}
+}
+
+// BSPILPPlusILP warm-starts the holistic ILP from the stronger baseline.
+func BSPILPPlusILP() Method {
+	return Method{Name: "bsp-ilp+ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
+			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit,
+		})
+		warm, err := twostage.Convert(b, arch, memmgr.Clairvoyant{})
+		if err != nil {
+			return nil, err
+		}
+		s, _, err := ilpsched.Solve(g, arch, ilpsched.Options{
+			Model:             cfg.Model,
+			WarmStart:         warm,
+			TimeLimit:         cfg.ILPTimeLimit,
+			LocalSearchBudget: cfg.LocalSearchBudget,
+			Seed:              cfg.Seed,
+		})
+		return s, err
+	}}
+}
+
+// Run evaluates the methods on every instance and returns the table.
+func Run(name string, insts []workloads.Instance, cfg Config, methods ...Method) (*Table, error) {
+	t := &Table{Name: name}
+	for _, m := range methods {
+		t.Methods = append(t.Methods, m.Name)
+	}
+	for _, inst := range insts {
+		arch := cfg.Arch(inst.DAG)
+		row := Row{Instance: inst.Name}
+		for _, m := range methods {
+			s, err := m.Run(inst.DAG, arch, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.Name, inst.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("%s on %s produced invalid schedule: %w", m.Name, inst.Name, err)
+			}
+			cost := s.Cost(cfg.Model)
+			// Soundness net: no scheduler may beat the proven lower
+			// bound.
+			lb := bounds.AsyncLB(inst.DAG, arch)
+			if cfg.Model == mbsp.Sync {
+				lb = bounds.SyncLB(inst.DAG, arch)
+			}
+			if cost < lb-1e-9 {
+				return nil, fmt.Errorf("%s on %s reports cost %g below the lower bound %g",
+					m.Name, inst.Name, cost, lb)
+			}
+			row.Costs = append(row.Costs, cost)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// BoxSummary is the five-number summary used to render Figure 4.
+type BoxSummary struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+	GeoMean                  float64
+}
+
+// Summarize computes a five-number summary of the ratios.
+func Summarize(label string, ratios []float64) BoxSummary {
+	xs := append([]float64(nil), ratios...)
+	sort.Float64s(xs)
+	q := func(f float64) float64 {
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		pos := f * float64(len(xs)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(xs) {
+			return xs[lo]
+		}
+		frac := pos - float64(lo)
+		return xs[lo]*(1-frac) + xs[hi]*frac
+	}
+	return BoxSummary{
+		Label: label, Min: xs[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75),
+		Max: xs[len(xs)-1], GeoMean: GeoMean(ratios),
+	}
+}

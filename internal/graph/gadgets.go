@@ -1,0 +1,251 @@
+package graph
+
+import "fmt"
+
+// This file contains the example constructions used by the paper's proofs.
+// They are exercised both by unit tests (which verify the structural
+// claims) and by benchmark experiments E8–E10.
+
+// TwoStageGapGadget is the construction of Theorem 4.1 (Figure 1): two
+// groups H1, H2 of d source nodes and two chains of length m whose nodes
+// alternately depend on all of H1 or all of H2. All node weights are 1.
+//
+// With P=2 processors, cache r = d+2, g = O(1) and L = 0, the optimal BSP
+// schedule (one chain per processor) forces any cache policy into d·m
+// loads, while the optimal MBSP schedule (children of H1 on one processor,
+// children of H2 on the other, exchanging chain values through slow
+// memory) needs only (2m+d)·g I/O — a Θ(n) gap.
+type TwoStageGapGadget struct {
+	DAG *DAG
+	D   int   // group size
+	M   int   // chain length
+	H1  []int // first source group
+	H2  []int // second source group
+	V   []int // first chain v_1..v_m
+	U   []int // second chain u_1..u_m
+}
+
+// NewTwoStageGapGadget builds the Theorem 4.1 construction with groups of
+// size d and chains of length m.
+func NewTwoStageGapGadget(d, m int) *TwoStageGapGadget {
+	if d < 1 || m < 1 {
+		panic("graph: TwoStageGapGadget requires d,m >= 1")
+	}
+	g := New(fmt.Sprintf("twostage_gap_d%d_m%d", d, m))
+	gd := &TwoStageGapGadget{DAG: g, D: d, M: m}
+	for i := 0; i < d; i++ {
+		gd.H1 = append(gd.H1, g.AddNodeLabeled(fmt.Sprintf("h1_%d", i), 1, 1))
+	}
+	for i := 0; i < d; i++ {
+		gd.H2 = append(gd.H2, g.AddNodeLabeled(fmt.Sprintf("h2_%d", i), 1, 1))
+	}
+	for i := 1; i <= m; i++ {
+		v := g.AddNodeLabeled(fmt.Sprintf("v_%d", i), 1, 1)
+		u := g.AddNodeLabeled(fmt.Sprintf("u_%d", i), 1, 1)
+		gd.V = append(gd.V, v)
+		gd.U = append(gd.U, u)
+		if i > 1 {
+			g.AddEdge(gd.V[i-2], v)
+			g.AddEdge(gd.U[i-2], u)
+		}
+		// Odd i: u_i depends on all of H1, v_i on all of H2.
+		// Even i: u_i depends on all of H2, v_i on all of H1.
+		uGroup, vGroup := gd.H1, gd.H2
+		if i%2 == 0 {
+			uGroup, vGroup = gd.H2, gd.H1
+		}
+		for _, h := range uGroup {
+			g.AddEdge(h, u)
+		}
+		for _, h := range vGroup {
+			g.AddEdge(h, v)
+		}
+	}
+	return gd
+}
+
+// ZipperGadget is the Lemma 6.1 construction: two chains (u_1..u_d) and
+// (u'_1..u'_d), a chain (v_0..v_m) whose node v_i depends on u_d (odd i)
+// or u'_d (even i), and a single source w with an edge to every other
+// node. All weights are 1 and the intended cache size is r = 4.
+//
+// Its role: with an ILP time horizon of T0 steps, the optimal restricted
+// schedule contains empty steps, yet allowing d-1 more steps admits a
+// strictly cheaper schedule that recomputes a whole chain instead of
+// loading a value — empty steps do not certify optimality.
+type ZipperGadget struct {
+	DAG   *DAG
+	D, M  int
+	W     int   // the universal source
+	U, UP []int // the two recomputable chains
+	V     []int // v_0..v_m
+}
+
+// NewZipperGadget builds the Lemma 6.1 construction.
+func NewZipperGadget(d, m int) *ZipperGadget {
+	if d < 2 || m < 1 {
+		panic("graph: ZipperGadget requires d >= 2, m >= 1")
+	}
+	g := New(fmt.Sprintf("zipper_d%d_m%d", d, m))
+	z := &ZipperGadget{DAG: g, D: d, M: m}
+	z.W = g.AddNodeLabeled("w", 1, 1)
+	for i := 1; i <= d; i++ {
+		u := g.AddNodeLabeled(fmt.Sprintf("u_%d", i), 1, 1)
+		up := g.AddNodeLabeled(fmt.Sprintf("u'_%d", i), 1, 1)
+		z.U = append(z.U, u)
+		z.UP = append(z.UP, up)
+		g.AddEdge(z.W, u)
+		g.AddEdge(z.W, up)
+		if i > 1 {
+			g.AddEdge(z.U[i-2], u)
+			g.AddEdge(z.UP[i-2], up)
+		}
+	}
+	for i := 0; i <= m; i++ {
+		v := g.AddNodeLabeled(fmt.Sprintf("v_%d", i), 1, 1)
+		z.V = append(z.V, v)
+		g.AddEdge(z.W, v)
+		if i == 0 {
+			g.AddEdge(z.U[d-1], v)
+			g.AddEdge(z.UP[d-1], v)
+		} else {
+			g.AddEdge(z.V[i-1], v)
+			if i%2 == 1 {
+				g.AddEdge(z.U[d-1], v)
+			} else {
+				g.AddEdge(z.UP[d-1], v)
+			}
+		}
+	}
+	return z
+}
+
+// SyncGapGadget is the Lemma 5.3 construction: P/2 pairs of processors,
+// each pair owning a pair of chains u_{i,1..P'} and v_{i,1..P'} where the
+// j-th element has compute weight Z when i == j and 1 otherwise. An
+// asynchronous optimum ignores superstep alignment and costs Z + P' − 1,
+// while the same schedule evaluated synchronously costs P'·Z; re-aligning
+// the heavy nodes into one superstep recovers cost Z + 2P' − 2. The ratio
+// approaches P/2 as Z grows.
+type SyncGapGadget struct {
+	DAG  *DAG
+	P    int // number of processors (even)
+	Z    float64
+	S    int     // artificial source
+	U, V [][]int // U[i][j], V[i][j] for pair i, position j (0-based)
+}
+
+// NewSyncGapGadget builds the Lemma 5.3 construction for P processors
+// (even) and heavy weight Z.
+func NewSyncGapGadget(p int, z float64) *SyncGapGadget {
+	if p < 2 || p%2 != 0 {
+		panic("graph: SyncGapGadget requires even P >= 2")
+	}
+	g := New(fmt.Sprintf("syncgap_P%d", p))
+	gg := &SyncGapGadget{DAG: g, P: p, Z: z}
+	gg.S = g.AddNodeLabeled("s", 0, 1)
+	pp := p / 2
+	for i := 0; i < pp; i++ {
+		var us, vs []int
+		for j := 0; j < pp; j++ {
+			w := 1.0
+			if i == j {
+				w = z
+			}
+			u := g.AddNodeLabeled(fmt.Sprintf("u_%d_%d", i, j), w, 1)
+			v := g.AddNodeLabeled(fmt.Sprintf("v_%d_%d", i, j), w, 1)
+			us = append(us, u)
+			vs = append(vs, v)
+			if j == 0 {
+				g.AddEdge(gg.S, u)
+				g.AddEdge(gg.S, v)
+			} else {
+				g.AddEdge(us[j-1], u)
+				g.AddEdge(us[j-1], v)
+				g.AddEdge(vs[j-1], u)
+				g.AddEdge(vs[j-1], v)
+			}
+		}
+		gg.U = append(gg.U, us)
+		gg.V = append(gg.V, vs)
+	}
+	return gg
+}
+
+// AsyncGapGadget is the Lemma 5.4 construction on P=5 processors: nodes
+// u1,u2 (ω=Z−1) feeding u3,u4 (ω=2Z); v1 (ω=2Z) feeding v2,v3,v4 (ω=Z−1);
+// an isolated node w (ω=Z−1); and an artificial source s feeding
+// u1,u2,v1,w. The synchronous optimum places w and v1 in different
+// supersteps (cost 4Z−2) but that choice is a 4/3 factor from the
+// asynchronous optimum (3Z−1).
+type AsyncGapGadget struct {
+	DAG            *DAG
+	Z              float64
+	S              int
+	U1, U2, U3, U4 int
+	V1, V2, V3, V4 int
+	W              int
+}
+
+// NewAsyncGapGadget builds the Lemma 5.4 construction with heavy weight Z.
+func NewAsyncGapGadget(z float64) *AsyncGapGadget {
+	g := New("asyncgap")
+	gg := &AsyncGapGadget{DAG: g, Z: z}
+	gg.S = g.AddNodeLabeled("s", 0, 1)
+	gg.U1 = g.AddNodeLabeled("u1", z-1, 1)
+	gg.U2 = g.AddNodeLabeled("u2", z-1, 1)
+	gg.U3 = g.AddNodeLabeled("u3", 2*z, 1)
+	gg.U4 = g.AddNodeLabeled("u4", 2*z, 1)
+	gg.V1 = g.AddNodeLabeled("v1", 2*z, 1)
+	gg.V2 = g.AddNodeLabeled("v2", z-1, 1)
+	gg.V3 = g.AddNodeLabeled("v3", z-1, 1)
+	gg.V4 = g.AddNodeLabeled("v4", z-1, 1)
+	gg.W = g.AddNodeLabeled("w", z-1, 1)
+	g.AddEdge(gg.S, gg.U1)
+	g.AddEdge(gg.S, gg.U2)
+	g.AddEdge(gg.S, gg.V1)
+	g.AddEdge(gg.S, gg.W)
+	g.AddEdge(gg.U1, gg.U3)
+	g.AddEdge(gg.U1, gg.U4)
+	g.AddEdge(gg.U2, gg.U3)
+	g.AddEdge(gg.U2, gg.U4)
+	g.AddEdge(gg.V1, gg.V2)
+	g.AddEdge(gg.V1, gg.V3)
+	g.AddEdge(gg.V1, gg.V4)
+	return gg
+}
+
+// MemHardGadget is the Lemma 5.1 reduction skeleton: source values
+// v_1..v_k with given memory weights plus v' with weight half the total;
+// three computation nodes c1 (needs all v_i), c2 (needs v'), c3 (needs
+// all v_i again). Used by tests to exercise the weighted eviction problem.
+type MemHardGadget struct {
+	DAG        *DAG
+	Vs         []int
+	VPrime     int
+	C1, C2, C3 int
+}
+
+// NewMemHardGadget builds the Lemma 5.1 reduction for the given item
+// weights. The cache bound of interest is the sum of the weights.
+func NewMemHardGadget(weights []float64) *MemHardGadget {
+	g := New("memhard")
+	gg := &MemHardGadget{DAG: g}
+	var total float64
+	for i, w := range weights {
+		gg.Vs = append(gg.Vs, g.AddNodeLabeled(fmt.Sprintf("v_%d", i), 0, w))
+		total += w
+	}
+	gg.VPrime = g.AddNodeLabeled("v'", 0, total/2)
+	gg.C1 = g.AddNodeLabeled("c1", 1, 0.001)
+	gg.C2 = g.AddNodeLabeled("c2", 1, 0.001)
+	gg.C3 = g.AddNodeLabeled("c3", 1, 0.001)
+	for _, v := range gg.Vs {
+		g.AddEdge(v, gg.C1)
+		g.AddEdge(v, gg.C3)
+	}
+	g.AddEdge(gg.VPrime, gg.C2)
+	g.AddEdge(gg.C1, gg.C2)
+	g.AddEdge(gg.C2, gg.C3)
+	return gg
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "testing"
+
+func TestTwoStageGapGadgetStructure(t *testing.T) {
+	d, m := 4, 6
+	gd := NewTwoStageGapGadget(d, m)
+	g := gd.DAG
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2*d+2*m {
+		t.Fatalf("n=%d want %d", g.N(), 2*d+2*m)
+	}
+	// All H nodes are sources.
+	for _, h := range append(append([]int(nil), gd.H1...), gd.H2...) {
+		if !g.IsSource(h) {
+			t.Fatalf("group node %d is not a source", h)
+		}
+	}
+	// Chain node i (1-based) has d group parents plus chain parent.
+	for i := 1; i <= m; i++ {
+		wantIn := d
+		if i > 1 {
+			wantIn++
+		}
+		if got := g.InDegree(gd.V[i-1]); got != wantIn {
+			t.Fatalf("v_%d in-degree %d want %d", i, got, wantIn)
+		}
+		if got := g.InDegree(gd.U[i-1]); got != wantIn {
+			t.Fatalf("u_%d in-degree %d want %d", i, got, wantIn)
+		}
+	}
+	// Alternation: u_1 depends on H1, u_2 on H2.
+	hasParent := func(v, p int) bool {
+		for _, u := range g.Parents(v) {
+			if u == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasParent(gd.U[0], gd.H1[0]) || hasParent(gd.U[0], gd.H2[0]) {
+		t.Fatal("u_1 should depend on H1 only")
+	}
+	if !hasParent(gd.U[1], gd.H2[0]) || hasParent(gd.U[1], gd.H1[0]) {
+		t.Fatal("u_2 should depend on H2 only")
+	}
+	// r0 = d + 2 for unit weights (chain node + d group parents + chain parent).
+	if got := g.MinCache(); got != float64(d+2) {
+		t.Fatalf("MinCache=%g want %d", got, d+2)
+	}
+}
+
+func TestZipperGadgetStructure(t *testing.T) {
+	d, m := 4, 5
+	z := NewZipperGadget(d, m)
+	g := z.DAG
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1+2*d+m+1 {
+		t.Fatalf("n=%d want %d", g.N(), 1+2*d+m+1)
+	}
+	if !g.IsSource(z.W) {
+		t.Fatal("w must be the source")
+	}
+	// Every non-w node has w as a parent.
+	for v := 0; v < g.N(); v++ {
+		if v == z.W {
+			continue
+		}
+		found := false
+		for _, u := range g.Parents(v) {
+			if u == z.W {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d lacks edge from w", v)
+		}
+	}
+	// v_0 depends on both chain ends; v_1 on U end; v_2 on UP end.
+	deps := func(v int) map[int]bool {
+		m := map[int]bool{}
+		for _, u := range g.Parents(v) {
+			m[u] = true
+		}
+		return m
+	}
+	if d0 := deps(z.V[0]); !d0[z.U[d-1]] || !d0[z.UP[d-1]] {
+		t.Fatal("v_0 must depend on both chain ends")
+	}
+	if d1 := deps(z.V[1]); !d1[z.U[d-1]] || d1[z.UP[d-1]] {
+		t.Fatal("v_1 must depend on u_d only")
+	}
+	if d2 := deps(z.V[2]); !d2[z.UP[d-1]] || d2[z.U[d-1]] {
+		t.Fatal("v_2 must depend on u'_d only")
+	}
+}
+
+func TestSyncGapGadgetStructure(t *testing.T) {
+	p := 6
+	gg := NewSyncGapGadget(p, 50)
+	g := gg.DAG
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pp := p / 2
+	if g.N() != 1+2*pp*pp {
+		t.Fatalf("n=%d want %d", g.N(), 1+2*pp*pp)
+	}
+	// Exactly one heavy node per chain pair per position diagonal.
+	heavy := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Comp(v) == 50 {
+			heavy++
+		}
+	}
+	if heavy != 2*pp {
+		t.Fatalf("heavy nodes=%d want %d", heavy, 2*pp)
+	}
+	// Pair chains are cross-linked: u_{i,j} has u_{i,j-1} and v_{i,j-1} as parents.
+	if g.InDegree(gg.U[0][1]) != 2 {
+		t.Fatalf("u_{0,1} in-degree=%d want 2", g.InDegree(gg.U[0][1]))
+	}
+}
+
+func TestSyncGapGadgetRejectsOddP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd P should panic")
+		}
+	}()
+	NewSyncGapGadget(5, 10)
+}
+
+func TestAsyncGapGadgetStructure(t *testing.T) {
+	z := 10.0
+	gg := NewAsyncGapGadget(z)
+	g := gg.DAG
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("n=%d want 10", g.N())
+	}
+	if g.Comp(gg.U3) != 2*z || g.Comp(gg.V1) != 2*z || g.Comp(gg.W) != z-1 {
+		t.Fatal("weights wrong")
+	}
+	if g.InDegree(gg.U3) != 2 || g.OutDegree(gg.V1) != 3 {
+		t.Fatal("shape wrong")
+	}
+	if !g.IsSink(gg.W) || g.IsSource(gg.W) {
+		t.Fatal("w must be non-source sink")
+	}
+}
+
+func TestMemHardGadgetStructure(t *testing.T) {
+	gg := NewMemHardGadget([]float64{3, 5, 2, 6})
+	g := gg.DAG
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(gg.C1) != 4 || g.InDegree(gg.C3) != 5 {
+		t.Fatalf("c1 deg=%d c3 deg=%d", g.InDegree(gg.C1), g.InDegree(gg.C3))
+	}
+	if g.Mem(gg.VPrime) != 8 {
+		t.Fatalf("v' weight=%g want 8", g.Mem(gg.VPrime))
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line based:
+//
+//	# comment
+//	dag <name> <n> <m>
+//	node <id> <comp> <mem> [label]
+//	edge <u> <v>
+//
+// Nodes must be declared before edges that use them, ids must be the dense
+// sequence 0..n-1 in order.
+
+// Write serializes the DAG in the text format.
+func Write(w io.Writer, g *DAG) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "dag %s %d %d\n", sanitizeName(g.Name()), g.N(), g.M())
+	for v := 0; v < g.N(); v++ {
+		if g.Label(v) != "" {
+			fmt.Fprintf(bw, "node %d %g %g %s\n", v, g.Comp(v), g.Mem(v), sanitizeName(g.Label(v)))
+		} else {
+			fmt.Fprintf(bw, "node %d %g %g\n", v, g.Comp(v), g.Mem(v))
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Children(u) {
+			fmt.Fprintf(bw, "edge %d %d\n", u, v)
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+// Read parses a DAG from the text format.
+func Read(r io.Reader) (*DAG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var g *DAG
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "dag":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: malformed dag header", line)
+			}
+			g = New(fields[1])
+		case "node":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: node before dag header", line)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graph: line %d: malformed node line", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id: %v", line, err)
+			}
+			comp, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad compute weight: %v", line, err)
+			}
+			mem, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad memory weight: %v", line, err)
+			}
+			label := ""
+			if len(fields) >= 5 {
+				label = fields[4]
+			}
+			got := g.AddNodeLabeled(label, comp, mem)
+			if got != id {
+				return nil, fmt.Errorf("graph: line %d: node id %d out of order (expected %d)", line, id, got)
+			}
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before dag header", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge source: %v", line, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge target: %v", line, err)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) references unknown node", line, u, v)
+			}
+			g.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the DAG in Graphviz DOT format, for visual inspection.
+func DOT(w io.Writer, g *DAG) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", sanitizeName(g.Name()))
+	for v := 0; v < g.N(); v++ {
+		label := g.Label(v)
+		if label == "" {
+			label = strconv.Itoa(v)
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\\nω=%g μ=%g\"];\n", v, label, g.Comp(v), g.Mem(v))
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Children(u) {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

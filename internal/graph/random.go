@@ -1,0 +1,84 @@
+package graph
+
+import "math/rand"
+
+// RandomLayered builds a random layered DAG with the given number of
+// layers, width per layer, and edge probability between adjacent layers
+// (plus a guaranteed parent for every non-source node, so every node is
+// reachable from a source). Compute weights are uniform in {1..maxComp}
+// and memory weights uniform in {1..maxMem}. The construction is
+// deterministic for a fixed seed.
+func RandomLayered(name string, layers, width int, p float64, maxComp, maxMem int, seed int64) *DAG {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(name)
+	prev := make([]int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			v := g.AddNode(float64(1+rng.Intn(maxComp)), float64(1+rng.Intn(maxMem)))
+			cur = append(cur, v)
+			if l > 0 {
+				// Guarantee at least one parent.
+				g.AddEdge(prev[rng.Intn(len(prev))], v)
+				for _, u := range prev {
+					if rng.Float64() < p {
+						g.AddEdge(u, v)
+					}
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// RandomDAG builds a random DAG on n nodes where each pair (i, j) with
+// i < j is an edge with probability p, filtered so that in-degrees stay
+// at most maxIn. Weights as in RandomLayered.
+func RandomDAG(name string, n int, p float64, maxIn, maxComp, maxMem int, seed int64) *DAG {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(name)
+	for i := 0; i < n; i++ {
+		g.AddNode(float64(1+rng.Intn(maxComp)), float64(1+rng.Intn(maxMem)))
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if g.InDegree(j) >= maxIn {
+				break
+			}
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Chain builds a simple chain of n nodes with unit weights — a convenient
+// fixture for tests.
+func Chain(n int) *DAG {
+	g := New("chain")
+	prev := -1
+	for i := 0; i < n; i++ {
+		v := g.AddNode(1, 1)
+		if prev >= 0 {
+			g.AddEdge(prev, v)
+		}
+		prev = v
+	}
+	return g
+}
+
+// Diamond builds source -> a,b -> sink with unit weights.
+func Diamond() *DAG {
+	g := New("diamond")
+	s := g.AddNode(1, 1)
+	a := g.AddNode(1, 1)
+	b := g.AddNode(1, 1)
+	t := g.AddNode(1, 1)
+	g.AddEdge(s, a)
+	g.AddEdge(s, b)
+	g.AddEdge(a, t)
+	g.AddEdge(b, t)
+	return g
+}

@@ -1,0 +1,77 @@
+package ilpsched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mbsp/internal/exact"
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+)
+
+// The exact optimum is a lower bound for every heuristic and for the ILP
+// result; and the solver (which consults the exact pebbler for small P=1
+// instances) must match it on micro DAGs.
+func TestILPMatchesExactOnMicroDAGs(t *testing.T) {
+	dags := []*graph.DAG{
+		graph.Diamond(),
+		graph.Chain(4),
+	}
+	tree := graph.New("tree")
+	s0 := tree.AddNode(0, 1)
+	l := tree.AddNode(2, 1)
+	rn := tree.AddNode(1, 2)
+	sink := tree.AddNode(1, 1)
+	tree.AddEdge(s0, l)
+	tree.AddEdge(s0, rn)
+	tree.AddEdge(l, sink)
+	tree.AddEdge(rn, sink)
+	dags = append(dags, tree)
+
+	for _, g := range dags {
+		r := 2 * g.MinCache()
+		ex, err := exact.Solve(g, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch := mbsp.Arch{P: 1, R: r, G: 1, L: 0}
+		s, stats, err := Solve(g, arch, Options{TimeLimit: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.SyncCost() < ex.Cost-1e-9 {
+			t.Fatalf("%s: ILP cost %g below exact optimum %g — exact solver or validator broken",
+				g.Name(), s.SyncCost(), ex.Cost)
+		}
+		if math.Abs(s.SyncCost()-ex.Cost) > 1e-9 {
+			t.Errorf("%s: ILP cost %g != exact optimum %g (stats=%+v)",
+				g.Name(), s.SyncCost(), ex.Cost, stats)
+		}
+	}
+}
+
+// The exact-pebbler backend must kick in and find recomputation-based
+// optima that the tree search cannot reach in small budgets.
+func TestExactBackendFindsRecomputation(t *testing.T) {
+	z := graph.NewZipperGadget(2, 2)
+	arch := mbsp.Arch{P: 1, R: 4, G: 6, L: 0}
+	s, stats, err := Solve(z.DAG, arch, Options{TimeLimit: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Source != "exact-pebbler" {
+		t.Fatalf("expected exact-pebbler source, got %q", stats.Source)
+	}
+	if s.SyncCost() >= stats.WarmCost {
+		t.Fatalf("exact backend did not improve: %g vs warm %g", s.SyncCost(), stats.WarmCost)
+	}
+	// And NoRecompute must forbid exactly that gain.
+	s2, _, err := Solve(z.DAG, arch, Options{TimeLimit: time.Second, NoRecompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SyncCost() <= s.SyncCost() {
+		t.Fatalf("NoRecompute (%g) should cost more than recompute (%g)", s2.SyncCost(), s.SyncCost())
+	}
+}

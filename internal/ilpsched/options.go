@@ -1,0 +1,115 @@
+// Package ilpsched implements the paper's core contribution: representing
+// MBSP scheduling as an Integer Linear Program (Section 6 and Appendix C)
+// and solving it holistically.
+//
+// The formulation uses binary variables compute/save/load per (processor,
+// node, time step) and hasred/hasblue state variables, with the step
+// merging optimization (several compute operations, or several I/O
+// operations, may share an ILP time step), both the synchronous and the
+// asynchronous cost function, an optional no-recomputation restriction,
+// and boundary conditions for divide-and-conquer subproblems.
+//
+// The branch-and-bound engine of package mip replaces the paper's
+// commercial solver. Exactly as in the paper, the solver is initialized
+// with the two-stage baseline solution, so the returned schedule is never
+// worse than the warm start. A holistic local-search primal heuristic
+// (package refine) supplements the tree search on instances whose ILP
+// models exceed what the bundled LP solver handles comfortably; DESIGN.md
+// documents this substitution.
+package ilpsched
+
+import (
+	"time"
+
+	"mbsp/internal/mbsp"
+)
+
+// Options configures the ILP scheduler.
+type Options struct {
+	// Model selects the synchronous or asynchronous objective.
+	Model mbsp.CostModel
+	// ExtraSteps is added to the warm start's step count to give the
+	// solver slack for better solutions (Lemma 6.1 shows empty steps do
+	// not certify optimality, so slack genuinely matters). Default 2.
+	ExtraSteps int
+	// Steps overrides the time horizon T entirely when > 0.
+	Steps int
+	// NoRecompute forbids computing a node more than once across all
+	// processors and steps.
+	NoRecompute bool
+	// NoStepMerging switches to the paper's base formulation: every ILP
+	// time step holds at most one operation per processor (constraint
+	// (6) of Figure 3) and the compute rule requires parents red at the
+	// step start (constraint (3) without the same-step term). The time
+	// horizon grows accordingly; only small instances remain tractable.
+	NoStepMerging bool
+	// RequireComputeAll adds Σ compute ≥ 1 per non-source node. Valid
+	// whenever every node has a path to a sink (true for all bundled
+	// workloads); tightens the relaxation. Default true.
+	RequireComputeAll bool
+	// TimeLimit bounds the branch-and-bound search. Default 10s.
+	TimeLimit time.Duration
+	// NodeLimit bounds the search tree size. Default 5000.
+	NodeLimit int
+	// MaxModelRows skips the tree search (keeping warm start + local
+	// search) when the ILP would have more rows than this; the bundled
+	// dense-inverse simplex degrades sharply beyond a few thousand rows.
+	// Default 2600.
+	MaxModelRows int
+	// DisableLocalSearch turns off the local-search primal heuristic
+	// (used by ablation benchmarks).
+	DisableLocalSearch bool
+	// LocalSearchBudget bounds local-search evaluations. Default 4000.
+	LocalSearchBudget int
+	// WarmStart seeds the solver with an existing MBSP schedule (the
+	// paper initializes its solver with the two-stage baseline). When
+	// nil, Solve builds the BSPg+clairvoyant baseline itself (DFS for
+	// P=1).
+	WarmStart *mbsp.Schedule
+	// Boundary conditions for divide-and-conquer subproblems.
+	InitialRed [][]int // per processor, nodes red at step 0
+	NeedBlue   []int   // nodes (besides sinks) that must be blue at the end
+	// Logf receives progress messages.
+	Logf func(format string, args ...interface{})
+	// Seed drives the local-search heuristic.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExtraSteps == 0 {
+		o.ExtraSteps = 2
+	}
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 10 * time.Second
+	}
+	if o.NodeLimit == 0 {
+		o.NodeLimit = 5000
+	}
+	if o.MaxModelRows == 0 {
+		o.MaxModelRows = 2600
+	}
+	if o.LocalSearchBudget == 0 {
+		o.LocalSearchBudget = 4000
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// Stats reports what the solver did.
+type Stats struct {
+	ModelVars   int
+	ModelRows   int
+	Steps       int
+	UsedILP     bool
+	ILPStatus   string
+	ILPNodes    int
+	ILPLPs      int
+	LocalMoves  int
+	WarmCost    float64
+	FinalCost   float64
+	Source      string // "ilp", "local-search", or "warm-start"
+	SolveTime   time.Duration
+	ProvedBound float64
+}

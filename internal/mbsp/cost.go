@@ -1,0 +1,182 @@
+package mbsp
+
+import "fmt"
+
+// SyncCost evaluates the synchronous (Multi-BSP style) cost of the
+// schedule:
+//
+//	Σ over supersteps of [ max_p cost(Ψcomp_p) + max_p cost(Ψsave_p)
+//	                       + max_p cost(Ψload_p) + L ].
+//
+// The schedule is assumed valid; call Validate first.
+func (s *Schedule) SyncCost() float64 {
+	total := 0.0
+	for i := range s.Steps {
+		var maxComp, maxSave, maxLoad float64
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			var comp, save, load float64
+			for _, op := range ps.Comp {
+				if op.Kind == OpCompute {
+					comp += s.Graph.Comp(op.Node)
+				}
+			}
+			for _, v := range ps.Save {
+				save += s.Arch.G * s.Graph.Mem(v)
+			}
+			for _, v := range ps.Load {
+				load += s.Arch.G * s.Graph.Mem(v)
+			}
+			maxComp = max(maxComp, comp)
+			maxSave = max(maxSave, save)
+			maxLoad = max(maxLoad, load)
+		}
+		total += maxComp + maxSave + maxLoad + s.Arch.L
+	}
+	return total
+}
+
+// CostBreakdown summarizes where a schedule's synchronous cost comes
+// from.
+type CostBreakdown struct {
+	Compute float64 // Σ max_p compute-phase cost
+	Save    float64 // Σ max_p save-phase cost
+	Load    float64 // Σ max_p load-phase cost
+	Sync    float64 // L · number of supersteps
+}
+
+// Total returns the synchronous total of the breakdown.
+func (c CostBreakdown) Total() float64 { return c.Compute + c.Save + c.Load + c.Sync }
+
+func (c CostBreakdown) String() string {
+	return fmt.Sprintf("cost{comp=%.4g save=%.4g load=%.4g sync=%.4g total=%.4g}",
+		c.Compute, c.Save, c.Load, c.Sync, c.Total())
+}
+
+// SyncCostBreakdown computes the synchronous cost split by phase kind.
+func (s *Schedule) SyncCostBreakdown() CostBreakdown {
+	var b CostBreakdown
+	for i := range s.Steps {
+		var maxComp, maxSave, maxLoad float64
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			var comp, save, load float64
+			for _, op := range ps.Comp {
+				if op.Kind == OpCompute {
+					comp += s.Graph.Comp(op.Node)
+				}
+			}
+			for _, v := range ps.Save {
+				save += s.Arch.G * s.Graph.Mem(v)
+			}
+			for _, v := range ps.Load {
+				load += s.Arch.G * s.Graph.Mem(v)
+			}
+			maxComp = max(maxComp, comp)
+			maxSave = max(maxSave, save)
+			maxLoad = max(maxLoad, load)
+		}
+		b.Compute += maxComp
+		b.Save += maxSave
+		b.Load += maxLoad
+		b.Sync += s.Arch.L
+	}
+	return b
+}
+
+// AsyncCost evaluates the asynchronous cost (makespan) of the schedule.
+// Each processor executes its own transition sequence back to back; a
+// LOAD of node v additionally waits until Γ(v), the finishing time of the
+// earliest SAVE of v within the first superstep that saves v. Source
+// nodes are available in slow memory at time 0.
+//
+// The returned value is max_p γ(last transition on p). The schedule is
+// assumed valid.
+func (s *Schedule) AsyncCost() float64 {
+	g := s.Graph
+	gamma := make([]float64, s.Arch.P) // current finishing time per processor
+	// Γ(v): time v first becomes available in slow memory.
+	avail := make(map[int]float64, g.N())
+	for _, v := range g.Sources() {
+		avail[v] = 0
+	}
+	for i := range s.Steps {
+		// Compute phases (deletes are free).
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			for _, op := range ps.Comp {
+				if op.Kind == OpCompute {
+					gamma[p] += g.Comp(op.Node)
+				}
+			}
+		}
+		// Save phases: Γ(v) is set in the first superstep saving v, as
+		// the minimum finish time over that superstep's saves of v.
+		type savedAt struct {
+			node int
+			t    float64
+		}
+		var saves []savedAt
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			for _, v := range ps.Save {
+				gamma[p] += s.Arch.G * g.Mem(v)
+				saves = append(saves, savedAt{v, gamma[p]})
+			}
+		}
+		// Minimum finish time per node within this superstep only;
+		// saves in later supersteps never lower Γ.
+		minThis := make(map[int]float64)
+		for _, sv := range saves {
+			if t, ok := minThis[sv.node]; !ok || sv.t < t {
+				minThis[sv.node] = sv.t
+			}
+		}
+		for v, t := range minThis {
+			if _, ok := avail[v]; !ok {
+				avail[v] = t
+			}
+		}
+		// Load phases.
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			for _, v := range ps.Load {
+				start := gamma[p]
+				if t, ok := avail[v]; ok && t > start {
+					start = t
+				}
+				gamma[p] = start + s.Arch.G*g.Mem(v)
+			}
+		}
+	}
+	best := 0.0
+	for p := range gamma {
+		best = max(best, gamma[p])
+	}
+	return best
+}
+
+// Cost evaluates the schedule under the given cost model.
+func (s *Schedule) Cost(model CostModel) float64 {
+	if model == Async {
+		return s.AsyncCost()
+	}
+	return s.SyncCost()
+}
+
+// CostModel selects between the synchronous and asynchronous objective.
+type CostModel uint8
+
+const (
+	// Sync is the superstep-structured (Multi-)BSP cost.
+	Sync CostModel = iota
+	// Async is the makespan-style cost with Γ-mediated load waits.
+	Async
+)
+
+func (m CostModel) String() string {
+	if m == Async {
+		return "async"
+	}
+	return "sync"
+}

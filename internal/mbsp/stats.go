@@ -1,0 +1,84 @@
+package mbsp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes structural properties of a schedule, used by the CLI
+// and by tests to reason about schedule quality beyond the scalar cost.
+type Stats struct {
+	Supersteps int
+	Computes   int
+	Saves      int
+	Loads      int
+	Deletes    int
+	Recomputed int // nodes computed more than once (over all processors)
+
+	WorkPerProc   []float64 // Σ ω per processor
+	IOPerProc     []float64 // g·Σ μ over saves+loads per processor
+	WorkImbalance float64   // max/mean work ratio (1 = perfectly balanced)
+
+	CommVolume float64 // g-weighted total save+load volume
+	PeakMemory float64 // max resident Σ μ on any processor
+}
+
+// ComputeStats gathers the statistics. The schedule must be valid.
+func (s *Schedule) ComputeStats() Stats {
+	st := Stats{
+		Supersteps:  len(s.Steps),
+		WorkPerProc: make([]float64, s.Arch.P),
+		IOPerProc:   make([]float64, s.Arch.P),
+	}
+	computedBy := make(map[int]int)
+	for i := range s.Steps {
+		for p := range s.Steps[i].Procs {
+			ps := &s.Steps[i].Procs[p]
+			for _, op := range ps.Comp {
+				if op.Kind == OpCompute {
+					st.Computes++
+					computedBy[op.Node]++
+					st.WorkPerProc[p] += s.Graph.Comp(op.Node)
+				} else {
+					st.Deletes++
+				}
+			}
+			st.Saves += len(ps.Save)
+			st.Deletes += len(ps.Del)
+			st.Loads += len(ps.Load)
+			for _, v := range ps.Save {
+				st.IOPerProc[p] += s.Arch.G * s.Graph.Mem(v)
+			}
+			for _, v := range ps.Load {
+				st.IOPerProc[p] += s.Arch.G * s.Graph.Mem(v)
+			}
+		}
+	}
+	for _, c := range computedBy {
+		if c > 1 {
+			st.Recomputed++
+		}
+	}
+	var total, maxWork float64
+	for _, w := range st.WorkPerProc {
+		total += w
+		maxWork = max(maxWork, w)
+	}
+	if total > 0 {
+		st.WorkImbalance = maxWork / (total / float64(s.Arch.P))
+	}
+	for p := range st.IOPerProc {
+		st.CommVolume += st.IOPerProc[p]
+	}
+	st.PeakMemory = s.MaxResidentMemory()
+	return st
+}
+
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "supersteps=%d computes=%d saves=%d loads=%d deletes=%d recomputed=%d\n",
+		st.Supersteps, st.Computes, st.Saves, st.Loads, st.Deletes, st.Recomputed)
+	fmt.Fprintf(&b, "work/proc=%v imbalance=%.3f commvol=%.4g peakmem=%.4g",
+		st.WorkPerProc, st.WorkImbalance, st.CommVolume, st.PeakMemory)
+	return b.String()
+}

@@ -1,0 +1,316 @@
+// Package mip implements a mixed-integer linear programming solver: a
+// model builder over package lp plus LP-relaxation branch-and-bound with
+// depth-first diving, most-fractional branching, warm-start incumbents
+// and time limits. It stands in for the commercial MILP solver used by
+// the paper (see DESIGN.md).
+package mip
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mbsp/internal/lp"
+)
+
+// Model is a MILP: an LP plus integrality markers.
+type Model struct {
+	prob    *lp.Problem
+	integer []bool
+	names   []string
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{prob: lp.NewProblem(0)}
+}
+
+// AddVar adds a continuous variable with bounds [lo, hi] and objective
+// coefficient obj; returns its index.
+func (m *Model) AddVar(name string, lo, hi, obj float64) int {
+	m.prob.Obj = append(m.prob.Obj, obj)
+	m.prob.Lb = append(m.prob.Lb, lo)
+	m.prob.Ub = append(m.prob.Ub, hi)
+	m.integer = append(m.integer, false)
+	m.names = append(m.names, name)
+	return len(m.integer) - 1
+}
+
+// AddBinary adds a {0,1} variable.
+func (m *Model) AddBinary(name string, obj float64) int {
+	j := m.AddVar(name, 0, 1, obj)
+	m.integer[j] = true
+	return j
+}
+
+// AddInt adds a general integer variable.
+func (m *Model) AddInt(name string, lo, hi, obj float64) int {
+	j := m.AddVar(name, lo, hi, obj)
+	m.integer[j] = true
+	return j
+}
+
+// SetObj overwrites the objective coefficient of variable j.
+func (m *Model) SetObj(j int, obj float64) { m.prob.Obj[j] = obj }
+
+// AddRow appends the constraint Σ coefs ◦ rhs and returns its index.
+func (m *Model) AddRow(coefs []lp.Coef, sense lp.Sense, rhs float64) int {
+	return m.prob.AddRow(coefs, sense, rhs)
+}
+
+// AddLE is shorthand for AddRow(coefs, LE, rhs).
+func (m *Model) AddLE(rhs float64, coefs ...lp.Coef) int { return m.AddRow(coefs, lp.LE, rhs) }
+
+// AddGE is shorthand for AddRow(coefs, GE, rhs).
+func (m *Model) AddGE(rhs float64, coefs ...lp.Coef) int { return m.AddRow(coefs, lp.GE, rhs) }
+
+// AddEQ is shorthand for AddRow(coefs, EQ, rhs).
+func (m *Model) AddEQ(rhs float64, coefs ...lp.Coef) int { return m.AddRow(coefs, lp.EQ, rhs) }
+
+// FixVar clamps variable j to a single value.
+func (m *Model) FixVar(j int, v float64) {
+	m.prob.Lb[j] = v
+	m.prob.Ub[j] = v
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.integer) }
+
+// NumRows returns the number of constraints.
+func (m *Model) NumRows() int { return len(m.prob.Rows) }
+
+// Name returns the name of variable j.
+func (m *Model) Name(j int) string { return m.names[j] }
+
+// ObjValue evaluates the model objective at x.
+func (m *Model) ObjValue(x []float64) float64 {
+	obj := 0.0
+	for j, c := range m.prob.Obj {
+		obj += c * x[j]
+	}
+	return obj
+}
+
+// CheckFeasible verifies that x satisfies all rows, bounds and
+// integrality within tol; returns a descriptive error otherwise.
+func (m *Model) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != m.NumVars() {
+		return fmt.Errorf("mip: solution has %d values, model has %d variables", len(x), m.NumVars())
+	}
+	for j := range x {
+		if x[j] < m.prob.Lb[j]-tol || x[j] > m.prob.Ub[j]+tol {
+			return fmt.Errorf("mip: variable %s=%g outside [%g,%g]", m.names[j], x[j], m.prob.Lb[j], m.prob.Ub[j])
+		}
+		if m.integer[j] && math.Abs(x[j]-math.Round(x[j])) > tol {
+			return fmt.Errorf("mip: variable %s=%g not integral", m.names[j], x[j])
+		}
+	}
+	for i, row := range m.prob.Rows {
+		lhs := 0.0
+		for _, c := range row.Coefs {
+			lhs += c.Val * x[c.Var]
+		}
+		switch row.Sense {
+		case lp.LE:
+			if lhs > row.RHS+tol {
+				return fmt.Errorf("mip: row %d violated: %g > %g", i, lhs, row.RHS)
+			}
+		case lp.GE:
+			if lhs < row.RHS-tol {
+				return fmt.Errorf("mip: row %d violated: %g < %g", i, lhs, row.RHS)
+			}
+		case lp.EQ:
+			if math.Abs(lhs-row.RHS) > tol {
+				return fmt.Errorf("mip: row %d violated: %g != %g", i, lhs, row.RHS)
+			}
+		}
+	}
+	return nil
+}
+
+// Status of a MIP solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal: search completed, incumbent proven optimal.
+	Optimal Status = iota
+	// Feasible: a solution was found but the search hit a limit.
+	Feasible
+	// Infeasible: no feasible solution exists.
+	Infeasible
+	// NoSolution: limits hit before any solution was found.
+	NoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Result of a MIP solve.
+type Result struct {
+	Status Status
+	Obj    float64
+	X      []float64
+	Bound  float64 // global dual (lower) bound on the optimum
+	Nodes  int
+	LPs    int
+}
+
+// Options controls the branch-and-bound search.
+type Options struct {
+	TimeLimit  time.Duration // default 10s
+	NodeLimit  int           // default 200000
+	Eps        float64       // integrality tolerance, default 1e-6
+	WarmStart  []float64     // optional feasible solution used as incumbent
+	Logf       func(format string, args ...interface{})
+	AbsGap     float64 // stop when incumbent − bound ≤ AbsGap (default 1e-6)
+	LPMaxIters int     // per-node LP iteration limit (0: lp default)
+}
+
+type node struct {
+	lb, ub []float64
+	depth  int
+}
+
+// Solve runs branch and bound, minimizing the model objective.
+func (m *Model) Solve(opts Options) Result {
+	if opts.TimeLimit == 0 {
+		opts.TimeLimit = 10 * time.Second
+	}
+	if opts.NodeLimit == 0 {
+		opts.NodeLimit = 200000
+	}
+	if opts.Eps == 0 {
+		opts.Eps = 1e-6
+	}
+	if opts.AbsGap == 0 {
+		opts.AbsGap = 1e-6
+	}
+	deadline := time.Now().Add(opts.TimeLimit)
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+
+	res := Result{Status: NoSolution, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	if opts.WarmStart != nil {
+		if err := m.CheckFeasible(opts.WarmStart, 1e-6); err == nil {
+			res.X = append([]float64(nil), opts.WarmStart...)
+			res.Obj = m.ObjValue(res.X)
+			res.Status = Feasible
+			logf("warm start accepted: obj=%g", res.Obj)
+		} else {
+			logf("warm start rejected: %v", err)
+		}
+	}
+
+	root := &node{lb: append([]float64(nil), m.prob.Lb...), ub: append([]float64(nil), m.prob.Ub...)}
+	stack := []*node{root}
+	rootBound := math.Inf(-1)
+	rootSolved := false
+
+	for len(stack) > 0 {
+		if time.Now().After(deadline) || res.Nodes >= opts.NodeLimit {
+			if res.X != nil {
+				res.Status = Feasible
+			}
+			res.Bound = rootBound
+			return res
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		relax := &lp.Problem{Obj: m.prob.Obj, Lb: nd.lb, Ub: nd.ub, Rows: m.prob.Rows}
+		lpRes := lp.Solve(relax, lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline})
+		res.LPs++
+		if !rootSolved {
+			rootSolved = true
+			if lpRes.Status == lp.Optimal {
+				rootBound = lpRes.Obj
+			}
+		}
+		switch lpRes.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// Integer restriction of an unbounded relaxation: give up on
+			// bounding; treat as no-prune and branch on nothing — the
+			// model author should bound the objective. Report via log.
+			logf("node %d: unbounded relaxation", res.Nodes)
+			continue
+		case lp.IterLimit:
+			logf("node %d: LP iteration limit", res.Nodes)
+			continue
+		}
+		if lpRes.Obj >= res.Obj-opts.AbsGap {
+			continue // pruned by bound
+		}
+		// Find most fractional integer variable.
+		branch := -1
+		worst := opts.Eps
+		for j := range m.integer {
+			if !m.integer[j] {
+				continue
+			}
+			f := math.Abs(lpRes.X[j] - math.Round(lpRes.X[j]))
+			if f > worst {
+				worst = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), lpRes.X...)
+			for j := range m.integer {
+				if m.integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			obj := m.ObjValue(x)
+			if obj < res.Obj-1e-12 {
+				res.Obj = obj
+				res.X = x
+				res.Status = Feasible
+				logf("incumbent: obj=%g after %d nodes", obj, res.Nodes)
+			}
+			continue
+		}
+		v := lpRes.X[branch]
+		floor, ceil := math.Floor(v), math.Ceil(v)
+		down := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1}
+		down.ub[branch] = floor
+		up := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1}
+		up.lb[branch] = ceil
+		// Dive toward the nearer integer first (pushed last = popped
+		// first).
+		if v-floor < ceil-v {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	if res.X == nil {
+		res.Status = Infeasible
+		res.Bound = math.Inf(1)
+		return res
+	}
+	res.Status = Optimal
+	res.Bound = res.Obj
+	return res
+}
+
+// RowDef exposes row i for diagnostics.
+func (m *Model) RowDef(i int) lp.RowDef { return m.prob.Rows[i] }

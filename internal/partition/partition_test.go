@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"testing"
+	"time"
+
+	"mbsp/internal/graph"
+	"mbsp/internal/workloads"
+)
+
+func TestBipartitionChain(t *testing.T) {
+	g := graph.Chain(9)
+	part, cut, optimal, err := Bipartition(g, BipartitionOptions{TimeLimit: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("chain cut=%d want 1", cut)
+	}
+	if !optimal {
+		t.Fatal("chain bipartition should be proven optimal")
+	}
+	if !g.IsAcyclicPartition(part, 2) {
+		t.Fatal("partition not acyclic")
+	}
+	// Balance.
+	ones := 0
+	for _, p := range part {
+		ones += p
+	}
+	if ones < 3 || ones > 6 {
+		t.Fatalf("unbalanced: %d of 9 in part 1", ones)
+	}
+}
+
+func TestBipartitionRespectsAcyclicity(t *testing.T) {
+	for _, inst := range workloads.Tiny()[:5] {
+		part, _, _, err := Bipartition(inst.DAG, BipartitionOptions{TimeLimit: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if !inst.DAG.IsAcyclicPartition(part, 2) {
+			t.Fatalf("%s: cyclic quotient", inst.Name)
+		}
+	}
+}
+
+func TestBipartitionBeatsOrMatchesGreedy(t *testing.T) {
+	for _, inst := range workloads.Tiny()[:6] {
+		_, gcut := GreedyBipartition(inst.DAG, 1.0/3)
+		_, icut, _, err := Bipartition(inst.DAG, BipartitionOptions{TimeLimit: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if icut > gcut {
+			t.Fatalf("%s: ILP cut %d worse than greedy %d", inst.Name, icut, gcut)
+		}
+	}
+}
+
+func TestGreedyBipartitionBalanced(t *testing.T) {
+	g := workloads.SpMV(10, 3)
+	part, cut := GreedyBipartition(g, 1.0/3)
+	if !g.IsAcyclicPartition(part, 2) {
+		t.Fatal("greedy produced cyclic quotient")
+	}
+	if cut < 0 {
+		t.Fatal("negative cut?")
+	}
+	ones := 0
+	for _, p := range part {
+		ones += p
+	}
+	n := g.N()
+	if ones < n/3 || ones > n-n/3 {
+		t.Fatalf("unbalanced: %d of %d", ones, n)
+	}
+}
+
+func TestRecursiveSplitsToSize(t *testing.T) {
+	for _, inst := range workloads.Small()[:3] {
+		res, err := Recursive(inst.DAG, RecursiveOptions{
+			MaxPartSize: 30, UseILP: true, TimeLimit: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		parts := Parts(res.Part, res.K)
+		for i, nodes := range parts {
+			if len(nodes) == 0 {
+				t.Fatalf("%s: empty part %d", inst.Name, i)
+			}
+			if len(nodes) > 30 {
+				t.Fatalf("%s: part %d has %d nodes", inst.Name, i, len(nodes))
+			}
+		}
+		if !inst.DAG.IsAcyclicPartition(res.Part, res.K) {
+			t.Fatalf("%s: quotient cyclic", inst.Name)
+		}
+		// Parts must be numbered topologically: every edge goes to an
+		// equal or higher part id.
+		for u := 0; u < inst.DAG.N(); u++ {
+			for _, v := range inst.DAG.Children(u) {
+				if res.Part[u] > res.Part[v] {
+					t.Fatalf("%s: edge (%d,%d) goes from part %d to %d",
+						inst.Name, u, v, res.Part[u], res.Part[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRecursiveGreedyOnly(t *testing.T) {
+	inst, err := workloads.ByName("exp_N10_K8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recursive(inst.DAG, RecursiveOptions{MaxPartSize: 25, UseILP: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ILPSolves != 0 {
+		t.Fatalf("greedy-only run used %d ILP solves", res.ILPSolves)
+	}
+	if !inst.DAG.IsAcyclicPartition(res.Part, res.K) {
+		t.Fatal("quotient cyclic")
+	}
+}
+
+func TestRecursiveSmallInputNoSplit(t *testing.T) {
+	g := graph.Diamond()
+	res, err := Recursive(g, RecursiveOptions{MaxPartSize: 10, UseILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("K=%d want 1", res.K)
+	}
+}

@@ -1,0 +1,165 @@
+// Package refine implements a holistic local search over MBSP schedules:
+// it perturbs the processor assignment of individual nodes, re-derives
+// superstep structure and cache management, and keeps changes that lower
+// the exact MBSP cost. It serves as a primal heuristic inside the ILP
+// scheduler (modern MILP solvers run comparable heuristics alongside the
+// tree search) and as a standalone schedule polisher.
+//
+// Unlike the two-stage baseline — whose stage 1 never sees the memory
+// constraint — every candidate here is evaluated with the full MBSP cost,
+// so the search is holistic in exactly the paper's sense.
+package refine
+
+import (
+	"math/rand"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/twostage"
+)
+
+// Options tunes the search.
+type Options struct {
+	Budget int   // max candidate evaluations (conversions); default 4000
+	Seed   int64 // RNG seed
+	Model  mbsp.CostModel
+	Policy memmgr.Policy // eviction policy for candidate conversion; default clairvoyant
+	// ExtraSave lists nodes that must be saved to slow memory when
+	// produced (divide-and-conquer boundary values).
+	ExtraSave []int
+}
+
+// Result reports the outcome.
+type Result struct {
+	Schedule *mbsp.Schedule
+	Cost     float64
+	Evals    int
+	Improved bool
+}
+
+// InitialAssignment extracts a node→processor assignment from an MBSP
+// schedule: each node goes to the processor that computes it first.
+// Source nodes map to −1.
+func InitialAssignment(s *mbsp.Schedule) []int {
+	g := s.Graph
+	proc := make([]int, g.N())
+	for v := range proc {
+		proc[v] = -1
+	}
+	for i := range s.Steps {
+		for p := range s.Steps[i].Procs {
+			for _, op := range s.Steps[i].Procs[p].Comp {
+				if op.Kind == mbsp.OpCompute && proc[op.Node] == -1 {
+					proc[op.Node] = p
+				}
+			}
+		}
+	}
+	return proc
+}
+
+// Improve runs hill-climbing over processor assignments starting from the
+// given schedule, returning the best schedule found (possibly the input).
+func Improve(start *mbsp.Schedule, opts Options) Result {
+	if opts.Budget == 0 {
+		opts.Budget = 4000
+	}
+	if opts.Policy == nil {
+		opts.Policy = memmgr.Clairvoyant{}
+	}
+	g := start.Graph
+	arch := start.Arch
+	best := start
+	bestCost := start.Cost(opts.Model)
+	res := Result{Schedule: best, Cost: bestCost}
+	if arch.P < 2 {
+		// Single processor: assignment moves do not exist.
+		return res
+	}
+
+	proc := InitialAssignment(start)
+	// Candidate evaluation: assignment → BSP schedule → MBSP conversion.
+	eval := func(pr []int) (*mbsp.Schedule, float64, bool) {
+		res.Evals++
+		b := bsp.FromAssignment(g, arch.P, pr)
+		s, err := twostage.ConvertExtra(b, arch, opts.Policy, opts.ExtraSave)
+		if err != nil || s.Validate() != nil {
+			return nil, 0, false
+		}
+		return s, s.Cost(opts.Model), true
+	}
+	// The re-derived schedule for the initial assignment may itself
+	// already differ from (even beat) the input.
+	if s, c, ok := eval(proc); ok && c < bestCost {
+		best, bestCost = s, c
+		res.Improved = true
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var movable []int
+	for v := 0; v < g.N(); v++ {
+		if !g.IsSource(v) {
+			movable = append(movable, v)
+		}
+	}
+	if len(movable) == 0 {
+		res.Schedule, res.Cost = best, bestCost
+		return res
+	}
+	cur := append([]int(nil), proc...)
+	curCost := bestCost
+	stale := 0
+	for res.Evals < opts.Budget && stale < 6*len(movable) {
+		v := movable[rng.Intn(len(movable))]
+		move := rng.Intn(3)
+		trial := append([]int(nil), cur...)
+		switch move {
+		case 0: // move one node to a random other processor
+			q := rng.Intn(arch.P)
+			if q == trial[v] {
+				q = (q + 1) % arch.P
+			}
+			trial[v] = q
+		case 1: // move a node and all its same-proc children
+			q := rng.Intn(arch.P)
+			if q == trial[v] {
+				q = (q + 1) % arch.P
+			}
+			old := trial[v]
+			trial[v] = q
+			for _, w := range g.Children(v) {
+				if !g.IsSource(w) && trial[w] == old {
+					trial[w] = q
+				}
+			}
+		default: // swap processors of two nodes
+			w := movable[rng.Intn(len(movable))]
+			trial[v], trial[w] = trial[w], trial[v]
+		}
+		s, c, ok := eval(trial)
+		if ok && c < curCost-1e-9 {
+			cur, curCost = trial, c
+			stale = 0
+			if c < bestCost {
+				best, bestCost = s, c
+				res.Improved = true
+			}
+		} else {
+			stale++
+		}
+	}
+	res.Schedule, res.Cost = best, bestCost
+	return res
+}
+
+// ImproveFromGraph is a convenience wrapper that builds the baseline
+// schedule itself and then improves it.
+func ImproveFromGraph(g *graph.DAG, arch mbsp.Arch, opts Options) (Result, error) {
+	base, err := twostage.BSPgClairvoyant(arch.G, arch.L).Run(g, arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return Improve(base, opts), nil
+}

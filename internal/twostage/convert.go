@@ -1,0 +1,417 @@
+// Package twostage implements the paper's two-stage baseline: a stage-1
+// BSP schedule (computed without memory constraints) is converted into a
+// valid MBSP schedule by splitting compute phases into maximal segments
+// that need no intervening I/O, and driving loads/evictions with a cache
+// management policy (clairvoyant or LRU).
+//
+// The conversion follows Section 4 of the paper: new MBSP supersteps are
+// formed by splitting each BSP compute phase into maximally long segments
+// of compute steps that can still be executed without a new I/O
+// operation; values computed for another processor (or for the terminal
+// configuration) are saved in the superstep where they are produced;
+// values with no remaining use are evicted automatically; when space is
+// needed the policy selects a victim, saving it first if it is still live
+// and not yet in slow memory.
+package twostage
+
+import (
+	"errors"
+	"fmt"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+)
+
+// ErrCacheTooSmall is returned when the architecture's fast memory cannot
+// hold some node together with its parents (r < r0).
+var ErrCacheTooSmall = errors.New("twostage: fast memory smaller than r0, no valid schedule exists")
+
+// Convert turns a valid BSP schedule into a valid MBSP schedule on arch
+// using the given eviction policy.
+func Convert(b *bsp.Schedule, arch mbsp.Arch, policy memmgr.Policy) (*mbsp.Schedule, error) {
+	return ConvertExtra(b, arch, policy, nil)
+}
+
+// ConvertExtra is Convert with additional nodes that must end up in slow
+// memory (saved when produced), used by the divide-and-conquer scheduler
+// for values consumed by later subproblems.
+func ConvertExtra(b *bsp.Schedule, arch mbsp.Arch, policy memmgr.Policy, extraSave []int) (*mbsp.Schedule, error) {
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("twostage: invalid stage-1 schedule: %w", err)
+	}
+	if arch.P < b.P {
+		return nil, fmt.Errorf("twostage: architecture has %d processors, schedule uses %d", arch.P, b.P)
+	}
+	g := b.Graph
+	if g.MinCache() > arch.R {
+		return nil, ErrCacheTooSmall
+	}
+
+	c := &converter{b: b, arch: arch, policy: policy, out: mbsp.NewSchedule(g, arch)}
+	c.init(extraSave)
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+type procState struct {
+	seq    []int         // full compute sequence (concatenated BSP supersteps)
+	head   int           // next index into seq
+	uses   map[int][]int // value -> positions in seq consuming it
+	usePtr map[int]int   // value -> index into uses[v] of next unconsumed use
+	res    map[int]bool  // resident values (red pebbles)
+	memUse float64
+	last   map[int]int // value -> logical time of last activity
+	clock  int
+}
+
+type converter struct {
+	b      *bsp.Schedule
+	arch   mbsp.Arch
+	policy memmgr.Policy
+	out    *mbsp.Schedule
+
+	procs    []*procState
+	blue     map[int]bool
+	needSave []bool
+}
+
+func (c *converter) init(extraSave []int) {
+	g := c.b.Graph
+	order := c.b.ComputeOrder()
+	c.procs = make([]*procState, c.arch.P)
+	for p := 0; p < c.arch.P; p++ {
+		ps := &procState{
+			uses:   make(map[int][]int),
+			usePtr: make(map[int]int),
+			res:    make(map[int]bool),
+			last:   make(map[int]int),
+		}
+		if p < c.b.P {
+			for s := 0; s < c.b.NumSteps; s++ {
+				ps.seq = append(ps.seq, order[p][s]...)
+			}
+		}
+		for i, v := range ps.seq {
+			for _, u := range g.Parents(v) {
+				ps.uses[u] = append(ps.uses[u], i)
+			}
+		}
+		c.procs[p] = ps
+	}
+	c.blue = make(map[int]bool)
+	for _, v := range g.Sources() {
+		c.blue[v] = true
+	}
+	c.needSave = make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if g.IsSource(v) {
+			continue
+		}
+		if g.IsSink(v) {
+			c.needSave[v] = true
+			continue
+		}
+		for _, w := range g.Children(v) {
+			if c.b.Proc[w] != c.b.Proc[v] {
+				c.needSave[v] = true
+				break
+			}
+		}
+	}
+	for _, v := range extraSave {
+		if !g.IsSource(v) {
+			c.needSave[v] = true
+		}
+	}
+}
+
+// remUses returns the number of future consumptions of v on p.
+func (ps *procState) remUses(v int) int { return len(ps.uses[v]) - ps.usePtr[v] }
+
+// nextUse returns the next consumption position of v on p, or
+// memmgr.NoUse.
+func (ps *procState) nextUse(v int) int {
+	if ps.usePtr[v] < len(ps.uses[v]) {
+		return ps.uses[v][ps.usePtr[v]]
+	}
+	return memmgr.NoUse
+}
+
+// run drives superstep rounds until every processor exhausts its
+// sequence.
+func (c *converter) run() error {
+	g := c.b.Graph
+	for {
+		doneAll := true
+		for _, ps := range c.procs {
+			if ps.head < len(ps.seq) {
+				doneAll = false
+			}
+		}
+		if doneAll {
+			break
+		}
+
+		step := c.out.AddSuperstep()
+		progress := false
+
+		// Phase 1: compute on every processor (maximal segments).
+		computedNow := make([][]int, c.arch.P)
+		for p, ps := range c.procs {
+			sp := &step.Procs[p]
+			for ps.head < len(ps.seq) {
+				v := ps.seq[ps.head]
+				okParents := true
+				for _, u := range g.Parents(v) {
+					if !ps.res[u] {
+						okParents = false
+						break
+					}
+				}
+				if !okParents {
+					break
+				}
+				if !c.makeRoomComp(p, sp, g.Mem(v), g.Parents(v)) {
+					break
+				}
+				sp.Comp = append(sp.Comp, mbsp.Op{Kind: mbsp.OpCompute, Node: v})
+				ps.res[v] = true
+				ps.memUse += g.Mem(v)
+				ps.clock++
+				ps.last[v] = ps.clock
+				computedNow[p] = append(computedNow[p], v)
+				// Consume parents; auto-evict values that just died.
+				for _, u := range g.Parents(v) {
+					ps.usePtr[u]++
+					ps.clock++
+					ps.last[u] = ps.clock
+				}
+				for _, u := range g.Parents(v) {
+					if ps.res[u] && ps.remUses(u) == 0 && (c.blue[u] || !c.needSave[u]) {
+						sp.Comp = append(sp.Comp, mbsp.Op{Kind: mbsp.OpDelete, Node: u})
+						delete(ps.res, u)
+						ps.memUse -= g.Mem(u)
+					}
+				}
+				ps.head++
+				progress = true
+			}
+		}
+
+		// Phase 2: production saves — every value computed this superstep
+		// that is needed by another processor or terminally.
+		for p := range c.procs {
+			sp := &step.Procs[p]
+			for _, v := range computedNow[p] {
+				if c.needSave[v] && !c.blue[v] {
+					sp.Save = append(sp.Save, v)
+				}
+			}
+		}
+		for p := range c.procs {
+			for _, v := range step.Procs[p].Save {
+				c.blue[v] = true
+			}
+		}
+
+		// Phase 3+4: per-processor eviction and load planning for the
+		// next segment.
+		for p, ps := range c.procs {
+			sp := &step.Procs[p]
+			// Dead freshly-computed values can go now that they are
+			// saved.
+			for _, v := range computedNow[p] {
+				if ps.res[v] && ps.remUses(v) == 0 && c.blue[v] {
+					sp.Del = append(sp.Del, v)
+					delete(ps.res, v)
+					ps.memUse -= g.Mem(v)
+				}
+			}
+			if ps.head >= len(ps.seq) {
+				continue
+			}
+			loaded := c.planLoads(p, sp)
+			if loaded {
+				progress = true
+			}
+		}
+
+		if !progress {
+			return fmt.Errorf("twostage: no progress in superstep %d (stage-1 schedule inconsistent?)", len(c.out.Steps)-1)
+		}
+	}
+	c.trimEmptySupersteps()
+	return nil
+}
+
+// makeRoomComp frees space during a compute phase: only values that are
+// already in slow memory or dead-and-unneeded may be deleted here (a save
+// is not possible mid-compute-phase). pinned values are never evicted.
+func (c *converter) makeRoomComp(p int, sp *mbsp.ProcStep, need float64, pinned []int) bool {
+	ps := c.procs[p]
+	g := c.b.Graph
+	isPinned := func(v int) bool {
+		for _, u := range pinned {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	}
+	for ps.memUse+need > c.arch.R+1e-9 {
+		var cands []memmgr.Info
+		for v := range ps.res {
+			if isPinned(v) {
+				continue
+			}
+			if c.blue[v] || (ps.remUses(v) == 0 && !c.needSave[v]) {
+				cands = append(cands, memmgr.Info{
+					Node: v, Mem: g.Mem(v), NextUse: ps.nextUse(v), LastUse: ps.last[v], Saved: c.blue[v],
+				})
+			}
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		victim := cands[c.policy.Pick(cands)]
+		sp.Comp = append(sp.Comp, mbsp.Op{Kind: mbsp.OpDelete, Node: victim.Node})
+		delete(ps.res, victim.Node)
+		ps.memUse -= g.Mem(victim.Node)
+	}
+	return true
+}
+
+// makeRoomComm frees space during the communication phase: any non-pinned
+// resident value may be evicted; live values not yet in slow memory are
+// saved first (save-before-evict).
+func (c *converter) makeRoomComm(p int, sp *mbsp.ProcStep, need float64, pinned map[int]bool) bool {
+	ps := c.procs[p]
+	g := c.b.Graph
+	for ps.memUse+need > c.arch.R+1e-9 {
+		var cands []memmgr.Info
+		for v := range ps.res {
+			if pinned[v] {
+				continue
+			}
+			cands = append(cands, memmgr.Info{
+				Node: v, Mem: g.Mem(v), NextUse: ps.nextUse(v), LastUse: ps.last[v], Saved: c.blue[v],
+			})
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		victim := cands[c.policy.Pick(cands)]
+		if !c.blue[victim.Node] && (ps.remUses(victim.Node) > 0 || c.needSave[victim.Node]) {
+			sp.Save = append(sp.Save, victim.Node)
+			c.blue[victim.Node] = true
+		}
+		sp.Del = append(sp.Del, victim.Node)
+		delete(ps.res, victim.Node)
+		ps.memUse -= g.Mem(victim.Node)
+	}
+	return true
+}
+
+// planLoads plans the load phase so the next compute segment can start:
+// it guarantees the parents of the next node (plus room for its output),
+// then opportunistically prefetches parents of subsequent nodes while
+// everything fits without evicting pinned values. Only values already in
+// slow memory can be loaded; if the next node's parents are not all
+// available yet (another processor has not produced them), nothing is
+// guaranteed and the processor idles this superstep.
+func (c *converter) planLoads(p int, sp *mbsp.ProcStep) bool {
+	ps := c.procs[p]
+	g := c.b.Graph
+	v0 := ps.seq[ps.head]
+	// Availability check for the mandatory loads.
+	var missing []int
+	for _, u := range g.Parents(v0) {
+		if !ps.res[u] {
+			if !c.blue[u] {
+				return false // produced later by another processor; idle
+			}
+			missing = append(missing, u)
+		}
+	}
+	pinned := map[int]bool{}
+	for _, u := range g.Parents(v0) {
+		pinned[u] = true
+	}
+	var needMem float64
+	for _, u := range missing {
+		needMem += g.Mem(u)
+	}
+	// Reserve room for v0's output too, so the next compute phase cannot
+	// stall on space.
+	if !c.makeRoomComm(p, sp, needMem+g.Mem(v0), pinned) {
+		return false
+	}
+	loadedAny := false
+	planned := map[int]bool{}
+	for _, u := range missing {
+		sp.Load = append(sp.Load, u)
+		ps.res[u] = true
+		ps.memUse += g.Mem(u)
+		ps.clock++
+		ps.last[u] = ps.clock
+		planned[u] = true
+		loadedAny = true
+	}
+	// Opportunistic prefetch for subsequent nodes: stop at the first node
+	// whose extra parents do not fit (without any further eviction) or
+	// are not yet available.
+	budget := c.arch.R - ps.memUse - g.Mem(v0)
+	for i := ps.head + 1; i < len(ps.seq); i++ {
+		w := ps.seq[i]
+		var extra []int
+		var extraMem float64
+		ok := true
+		for _, u := range g.Parents(w) {
+			if ps.res[u] || planned[u] {
+				continue
+			}
+			if !c.blue[u] {
+				ok = false
+				break
+			}
+			extra = append(extra, u)
+			extraMem += g.Mem(u)
+		}
+		if !ok || extraMem+g.Mem(w) > budget+1e-9 {
+			break
+		}
+		for _, u := range extra {
+			sp.Load = append(sp.Load, u)
+			ps.res[u] = true
+			ps.memUse += g.Mem(u)
+			ps.clock++
+			ps.last[u] = ps.clock
+			planned[u] = true
+			loadedAny = true
+		}
+		budget -= extraMem + g.Mem(w)
+	}
+	return loadedAny
+}
+
+// trimEmptySupersteps removes supersteps in which no processor does
+// anything (possible when a processor idles waiting for data).
+func (c *converter) trimEmptySupersteps() {
+	var kept []mbsp.Superstep
+	for i := range c.out.Steps {
+		empty := true
+		for p := range c.out.Steps[i].Procs {
+			if !c.out.Steps[i].Procs[p].Empty() {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			kept = append(kept, c.out.Steps[i])
+		}
+	}
+	c.out.Steps = kept
+}

@@ -1,0 +1,192 @@
+package twostage
+
+import (
+	"testing"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/workloads"
+)
+
+func archFor(g *graph.DAG, p int, rFactor float64) mbsp.Arch {
+	return mbsp.Arch{P: p, R: rFactor * g.MinCache(), G: 1, L: 10}
+}
+
+func TestConvertValidOnTinySetAllPipelines(t *testing.T) {
+	for _, inst := range workloads.Tiny() {
+		for _, rf := range []float64{1, 3, 5} {
+			for _, pl := range []Pipeline{BSPgClairvoyant(1, 10), CilkLRU(7)} {
+				arch := archFor(inst.DAG, 4, rf)
+				s, err := pl.Run(inst.DAG, arch)
+				if err != nil {
+					t.Fatalf("%s %s rf=%g: %v", inst.Name, pl.Name, rf, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s %s rf=%g: invalid schedule: %v", inst.Name, pl.Name, rf, err)
+				}
+				if err := s.CheckComputesAll(); err != nil {
+					t.Fatalf("%s %s rf=%g: %v", inst.Name, pl.Name, rf, err)
+				}
+			}
+		}
+	}
+}
+
+func TestConvertValidOnSmallSet(t *testing.T) {
+	for _, inst := range workloads.Small() {
+		arch := archFor(inst.DAG, 4, 5)
+		s, err := BSPgClairvoyant(1, 10).Run(inst.DAG, arch)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestConvertP1DFS(t *testing.T) {
+	for _, inst := range workloads.Tiny() {
+		arch := archFor(inst.DAG, 1, 3)
+		s, err := DFSClairvoyant().Run(inst.DAG, arch)
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestConvertRejectsTooSmallCache(t *testing.T) {
+	g := workloads.SpMV(6, 1)
+	arch := mbsp.Arch{P: 2, R: g.MinCache() - 1, G: 1, L: 10}
+	if _, err := BSPgClairvoyant(1, 10).Run(g, arch); err != ErrCacheTooSmall {
+		t.Fatalf("expected ErrCacheTooSmall, got %v", err)
+	}
+}
+
+func TestConvertChainSingleProc(t *testing.T) {
+	// A unit chain with generous cache: cost should be
+	// load(source) + m computes + save(sink) + L per superstep (2 steps).
+	m := 6
+	g := graph.Chain(m + 1)
+	arch := mbsp.Arch{P: 1, R: 100, G: 1, L: 0}
+	b := bsp.DFS(g)
+	s, err := Convert(b, arch, memmgr.Clairvoyant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Load 1 + computes m + save 1.
+	want := 1.0 + float64(m) + 1.0
+	if got := s.SyncCost(); got != want {
+		t.Fatalf("cost=%g want %g\n%s", got, want, s)
+	}
+}
+
+func TestConvertTightCacheForcesReloads(t *testing.T) {
+	// Theorem 4.1 gadget with r=d+2 forces the converted optimal-BSP
+	// schedule into Θ(d·m) loads, while a loose cache avoids them.
+	gd := graph.NewTwoStageGapGadget(4, 8)
+	g := gd.DAG
+	// Stage-1: one chain per processor (the BSP optimum shape).
+	b := bsp.NewSchedule(g, 2)
+	for i, v := range gd.V {
+		b.Assign(v, 0, i/1000) // all in superstep 0
+	}
+	for i, u := range gd.U {
+		b.Assign(u, 1, i/1000)
+	}
+	tight := mbsp.Arch{P: 2, R: float64(gd.D) + 2, G: 1, L: 0}
+	loose := mbsp.Arch{P: 2, R: 4 * float64(gd.D+2), G: 1, L: 0}
+	st, err := Convert(b, tight, memmgr.Clairvoyant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Convert(b, loose, memmgr.Clairvoyant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, loadsTight, _ := st.Ops()
+	_, _, loadsLoose, _ := sl.Ops()
+	if loadsTight <= 2*loadsLoose {
+		t.Fatalf("tight cache loads=%d not far above loose loads=%d", loadsTight, loadsLoose)
+	}
+	if st.SyncCost() <= sl.SyncCost() {
+		t.Fatalf("tight cost %g not above loose cost %g", st.SyncCost(), sl.SyncCost())
+	}
+}
+
+func TestClairvoyantNotWorseThanLRUOnAverage(t *testing.T) {
+	// Clairvoyant should win (or tie) the total across the tiny set for
+	// the same stage-1 schedules.
+	var cl, lru float64
+	for _, inst := range workloads.Tiny() {
+		arch := archFor(inst.DAG, 4, 3)
+		b := bsp.BSPg(inst.DAG, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		sc, err := Convert(b, arch, memmgr.Clairvoyant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl, err := Convert(b, arch, memmgr.LRU{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl += sc.SyncCost()
+		lru += sl.SyncCost()
+	}
+	if cl > lru {
+		t.Fatalf("clairvoyant total %g worse than LRU total %g", cl, lru)
+	}
+}
+
+func TestConvertAsyncCostComputable(t *testing.T) {
+	for _, inst := range workloads.Tiny()[:4] {
+		arch := mbsp.Arch{P: 4, R: 3 * inst.DAG.MinCache(), G: 1, L: 0}
+		s, err := BSPgClairvoyant(1, 0).Run(inst.DAG, arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.AsyncCost() <= 0 {
+			t.Fatalf("%s: async cost %g", inst.Name, s.AsyncCost())
+		}
+		if s.AsyncCost() > s.SyncCost()+1e-9 {
+			t.Fatalf("%s: async %g > sync %g with L=0", inst.Name, s.AsyncCost(), s.SyncCost())
+		}
+	}
+}
+
+func TestLargerCacheNeverIncreasesBaselineLoads(t *testing.T) {
+	for _, inst := range workloads.Tiny() {
+		b := bsp.BSPg(inst.DAG, 4, bsp.BSPgOptions{G: 1, L: 10})
+		var prevLoads = 1 << 30
+		for _, rf := range []float64{1, 2, 3, 5, 10} {
+			arch := archFor(inst.DAG, 4, rf)
+			s, err := Convert(b, arch, memmgr.Clairvoyant{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, loads, _ := s.Ops()
+			if loads > prevLoads {
+				// Clairvoyant is a heuristic under weights, so allow a
+				// small wobble but catch gross regressions.
+				if float64(loads) > 1.2*float64(prevLoads) {
+					t.Fatalf("%s: loads grew sharply with larger cache (rf=%g): %d > %d",
+						inst.Name, rf, loads, prevLoads)
+				}
+			}
+			prevLoads = loads
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mbsp/internal/graph"
+)
+
+// Instance is a named benchmark DAG.
+type Instance struct {
+	Name string
+	DAG  *graph.DAG
+}
+
+// AssignRandomMemWeights assigns uniform random memory weights from
+// {lo..hi} to every node, deterministically from seed — the paper adds
+// μ ∈ {1..5} this way because the source dataset has compute weights
+// only.
+func AssignRandomMemWeights(g *graph.DAG, lo, hi int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < g.N(); v++ {
+		g.SetMem(v, float64(lo+rng.Intn(hi-lo+1)))
+	}
+}
+
+func finish(name string, g *graph.DAG, seed int64) Instance {
+	g.SetName(name)
+	AssignRandomMemWeights(g, 1, 5, seed)
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("workloads: instance %s invalid: %v", name, err))
+	}
+	return Instance{Name: name, DAG: g}
+}
+
+// Tiny returns the default "tiny" dataset: the same 15 instance names and
+// computation families as the paper's smallest dataset, at sizes our
+// bundled branch-and-bound solver can explore within test/bench budgets
+// (the paper used a commercial solver with 60-minute limits; see
+// DESIGN.md for the substitution note).
+func Tiny() []Instance {
+	return []Instance{
+		finish("bicgstab", BiCGSTAB(2), 101),
+		finish("k-means", KMeans(3, 2), 102),
+		finish("pregel", Pregel(3, 2), 103),
+		finish("spmv_N6", SpMV(6, 6), 104),
+		finish("spmv_N7", SpMV(7, 7), 105),
+		finish("spmv_N10", SpMV(10, 10), 106),
+		finish("CG_N2_K2", CG(2, 2, 22), 107),
+		finish("CG_N3_K1", CG(3, 1, 31), 108),
+		finish("CG_N4_K1", CG(4, 1, 41), 109),
+		finish("exp_N4_K2", IteratedSpMV(4, 2, 42), 110),
+		finish("exp_N5_K3", IteratedSpMV(5, 3, 53), 111),
+		finish("exp_N6_K4", IteratedSpMV(6, 4, 64), 112),
+		finish("kNN_N4_K3", KNN(4, 3, 43), 113),
+		finish("kNN_N5_K3", KNN(5, 3, 53), 114),
+		finish("kNN_N6_K4", KNN(6, 4, 64), 115),
+	}
+}
+
+// Small returns the default "small" dataset: the 10 instance names of the
+// paper's second dataset (two smallest per family plus the two
+// coarse-grained graphs), again at solver-friendly sizes.
+func Small() []Instance {
+	return []Instance{
+		finish("simple_pagerank", PageRank(6, 5), 201),
+		finish("snni_graphchall.", SNNI(6, 6, 7), 202),
+		finish("spmv_N25", SpMV(25, 25), 203),
+		finish("spmv_N35", SpMV(35, 35), 204),
+		finish("CG_N5_K4", CG(5, 4, 54), 205),
+		finish("CG_N7_K2", CG(7, 2, 72), 206),
+		finish("exp_N10_K8", IteratedSpMV(10, 8, 108), 207),
+		finish("exp_N15_K4", IteratedSpMV(15, 4, 154), 208),
+		finish("kNN_N10_K8", KNN(10, 8, 108), 209),
+		finish("kNN_N15_K4", KNN(15, 4, 154), 210),
+	}
+}
+
+// PaperTiny returns the tiny dataset scaled up to the paper's node counts
+// (roughly 40–80 nodes per instance). Intended for long offline runs.
+func PaperTiny() []Instance {
+	return []Instance{
+		finish("bicgstab", BiCGSTAB(5), 101),
+		finish("k-means", KMeans(5, 4), 102),
+		finish("pregel", Pregel(5, 4), 103),
+		finish("spmv_N12", SpMV(12, 6), 104),
+		finish("spmv_N14", SpMV(14, 7), 105),
+		finish("spmv_N16", SpMV(16, 10), 106),
+		finish("CG_N4_K2", CG(4, 2, 22), 107),
+		finish("CG_N5_K2", CG(5, 2, 31), 108),
+		finish("CG_N6_K2", CG(6, 2, 41), 109),
+		finish("exp_N6_K4", IteratedSpMV(6, 4, 42), 110),
+		finish("exp_N7_K5", IteratedSpMV(7, 5, 53), 111),
+		finish("exp_N8_K5", IteratedSpMV(8, 5, 64), 112),
+		finish("kNN_N6_K5", KNN(6, 5, 43), 113),
+		finish("kNN_N7_K5", KNN(7, 5, 53), 114),
+		finish("kNN_N8_K6", KNN(8, 6, 64), 115),
+	}
+}
+
+// PaperSmall returns the small dataset scaled up to the paper's node
+// counts (roughly 264–464 nodes per instance).
+func PaperSmall() []Instance {
+	return []Instance{
+		finish("simple_pagerank", PageRank(10, 9), 201),
+		finish("snni_graphchall.", SNNI(10, 10, 7), 202),
+		finish("spmv_N60", SpMV(60, 25), 203),
+		finish("spmv_N90", SpMV(90, 35), 204),
+		finish("CG_N8_K5", CG(8, 5, 54), 205),
+		finish("CG_N12_K3", CG(12, 3, 72), 206),
+		finish("exp_N16_K10", IteratedSpMV(16, 10, 108), 207),
+		finish("exp_N24_K6", IteratedSpMV(24, 6, 154), 208),
+		finish("kNN_N16_K10", KNN(16, 10, 108), 209),
+		finish("kNN_N24_K6", KNN(24, 6, 154), 210),
+	}
+}
+
+// ByName returns the named instance from any of the datasets, or an
+// error listing known names.
+func ByName(name string) (Instance, error) {
+	var names []string
+	for _, set := range [][]Instance{Tiny(), Small(), PaperTiny(), PaperSmall()} {
+		for _, inst := range set {
+			if inst.Name == name {
+				return inst, nil
+			}
+			names = append(names, inst.Name)
+		}
+	}
+	return Instance{}, fmt.Errorf("workloads: unknown instance %q (known: %v)", name, names)
+}

@@ -1,0 +1,362 @@
+// Package workloads generates the computational-DAG benchmark families
+// used in the paper's experiments (originating from the dataset of Papp,
+// Anegg, Karanasiou, Yzelman, SPAA 2024): fine-grained SpMV, conjugate
+// gradient (CG), iterated SpMV ("exp"), k-nearest-neighbour (kNN), and
+// coarse-grained representations of BiCGSTAB, k-means, Pregel, PageRank
+// and sparse-NN inference.
+//
+// The original dataset is distributed as files; we regenerate the same
+// computation structures from scratch. All generators are deterministic
+// for fixed parameters. Compute weights ω reflect the operation type;
+// memory weights μ default to 1 and the registry assigns uniform random
+// weights in {1..5} exactly as the paper does.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mbsp/internal/graph"
+)
+
+// sparsePattern returns a deterministic sparse matrix pattern on n rows:
+// for each row a diagonal entry plus extra entries with average density
+// controlled by extra (expected additional nonzeros per row), band-limited
+// to keep the DAG local.
+func sparsePattern(n, extra int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	pat := make([][]int, n)
+	for i := 0; i < n; i++ {
+		cols := map[int]bool{i: true}
+		for e := 0; e < extra; e++ {
+			off := rng.Intn(2*3+1) - 3 // band of ±3
+			j := i + off
+			if j >= 0 && j < n {
+				cols[j] = true
+			}
+		}
+		for j := range cols {
+			pat[i] = append(pat[i], j)
+		}
+		sortInts(pat[i])
+	}
+	return pat
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// addReduction adds a binary reduction tree over the given inputs and
+// returns the root node. A single input is returned unchanged. Each
+// reduction node has compute weight addW and memory weight 1.
+func addReduction(g *graph.DAG, label string, inputs []int, addW float64) int {
+	if len(inputs) == 0 {
+		panic("workloads: empty reduction")
+	}
+	level := append([]int(nil), inputs...)
+	depth := 0
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				continue
+			}
+			v := g.AddNodeLabeled(fmt.Sprintf("%s_add%d_%d", label, depth, i/2), addW, 1)
+			g.AddEdge(level[i], v)
+			g.AddEdge(level[i+1], v)
+			next = append(next, v)
+		}
+		level = next
+		depth++
+	}
+	return level[0]
+}
+
+// SpMV builds the fine-grained DAG of one sparse matrix–vector product
+// y = A·x for an n-row matrix: one source per vector entry x_j, one
+// multiply node per nonzero a_ij·x_j, and a binary add-reduction per row.
+func SpMV(n int, seed int64) *graph.DAG {
+	g := graph.New(fmt.Sprintf("spmv_N%d", n))
+	pat := sparsePattern(n, 2, seed)
+	x := make([]int, n)
+	for j := 0; j < n; j++ {
+		x[j] = g.AddNodeLabeled(fmt.Sprintf("x%d", j), 0, 1)
+	}
+	spmvRows(g, "y", pat, x)
+	return g
+}
+
+// spmvRows adds multiply+reduce rows for pattern pat over input vector in
+// and returns the output vector node ids.
+func spmvRows(g *graph.DAG, label string, pat [][]int, in []int) []int {
+	out := make([]int, len(pat))
+	for i, cols := range pat {
+		var mults []int
+		for _, j := range cols {
+			m := g.AddNodeLabeled(fmt.Sprintf("%s%d_mul%d", label, i, j), 1, 1)
+			g.AddEdge(in[j], m)
+			mults = append(mults, m)
+		}
+		out[i] = addReduction(g, fmt.Sprintf("%s%d", label, i), mults, 1)
+	}
+	return out
+}
+
+// IteratedSpMV builds the "exp" family: k chained SpMV applications
+// x^{t+1} = A·x^t with the same pattern every iteration.
+func IteratedSpMV(n, k int, seed int64) *graph.DAG {
+	g := graph.New(fmt.Sprintf("exp_N%d_K%d", n, k))
+	pat := sparsePattern(n, 1, seed)
+	vec := make([]int, n)
+	for j := 0; j < n; j++ {
+		vec[j] = g.AddNodeLabeled(fmt.Sprintf("x0_%d", j), 0, 1)
+	}
+	for t := 1; t <= k; t++ {
+		vec = spmvRows(g, fmt.Sprintf("x%d_", t), pat, vec)
+	}
+	return g
+}
+
+// CG builds a fine-grained conjugate-gradient DAG: k iterations on an
+// n-dimensional system. Each iteration performs q = A·p, α =
+// (r·r)/(p·q), x += α·p, r −= α·q, β = (r'·r')/(r·r), p = r + β·p, with
+// element-wise nodes and dot-product reductions.
+func CG(n, k int, seed int64) *graph.DAG {
+	g := graph.New(fmt.Sprintf("CG_N%d_K%d", n, k))
+	pat := sparsePattern(n, 1, seed)
+	x := make([]int, n)
+	r := make([]int, n)
+	p := make([]int, n)
+	for j := 0; j < n; j++ {
+		x[j] = g.AddNodeLabeled(fmt.Sprintf("x0_%d", j), 0, 1)
+		r[j] = g.AddNodeLabeled(fmt.Sprintf("r0_%d", j), 0, 1)
+		p[j] = g.AddNodeLabeled(fmt.Sprintf("p0_%d", j), 0, 1)
+	}
+	rr := dot(g, "rr0", r, r)
+	for t := 1; t <= k; t++ {
+		q := spmvRows(g, fmt.Sprintf("q%d_", t), pat, p)
+		pq := dot(g, fmt.Sprintf("pq%d", t), p, q)
+		alpha := g.AddNodeLabeled(fmt.Sprintf("alpha%d", t), 1, 1)
+		g.AddEdge(rr, alpha)
+		g.AddEdge(pq, alpha)
+		newX := make([]int, n)
+		newR := make([]int, n)
+		for j := 0; j < n; j++ {
+			newX[j] = g.AddNodeLabeled(fmt.Sprintf("x%d_%d", t, j), 1, 1)
+			g.AddEdge(x[j], newX[j])
+			g.AddEdge(p[j], newX[j])
+			g.AddEdge(alpha, newX[j])
+			newR[j] = g.AddNodeLabeled(fmt.Sprintf("r%d_%d", t, j), 1, 1)
+			g.AddEdge(r[j], newR[j])
+			g.AddEdge(q[j], newR[j])
+			g.AddEdge(alpha, newR[j])
+		}
+		newRR := dot(g, fmt.Sprintf("rr%d", t), newR, newR)
+		beta := g.AddNodeLabeled(fmt.Sprintf("beta%d", t), 1, 1)
+		g.AddEdge(newRR, beta)
+		g.AddEdge(rr, beta)
+		newP := make([]int, n)
+		for j := 0; j < n; j++ {
+			newP[j] = g.AddNodeLabeled(fmt.Sprintf("p%d_%d", t, j), 1, 1)
+			g.AddEdge(newR[j], newP[j])
+			g.AddEdge(p[j], newP[j])
+			g.AddEdge(beta, newP[j])
+		}
+		x, r, p, rr = newX, newR, newP, newRR
+	}
+	return g
+}
+
+// dot adds element-wise multiply nodes and a reduction over them.
+func dot(g *graph.DAG, label string, a, b []int) int {
+	var mults []int
+	for j := range a {
+		m := g.AddNodeLabeled(fmt.Sprintf("%s_m%d", label, j), 1, 1)
+		g.AddEdge(a[j], m)
+		if b[j] != a[j] {
+			g.AddEdge(b[j], m)
+		}
+		mults = append(mults, m)
+	}
+	return addReduction(g, label, mults, 1)
+}
+
+// KNN builds a k-nearest-neighbour style DAG: n data-point sources and a
+// query source; per iteration, a distance node per point (depending on
+// the point, the query and the previous iteration's selection) and a
+// min-reduction tournament; k selection rounds.
+func KNN(n, k int, seed int64) *graph.DAG {
+	g := graph.New(fmt.Sprintf("kNN_N%d_K%d", n, k))
+	query := g.AddNodeLabeled("query", 0, 1)
+	pts := make([]int, n)
+	for i := 0; i < n; i++ {
+		pts[i] = g.AddNodeLabeled(fmt.Sprintf("pt%d", i), 0, 1)
+	}
+	prevSel := -1
+	for t := 0; t < k; t++ {
+		var dists []int
+		for i := 0; i < n; i++ {
+			d := g.AddNodeLabeled(fmt.Sprintf("d%d_%d", t, i), 2, 1)
+			g.AddEdge(pts[i], d)
+			g.AddEdge(query, d)
+			if prevSel >= 0 {
+				g.AddEdge(prevSel, d)
+			}
+			dists = append(dists, d)
+		}
+		prevSel = addReduction(g, fmt.Sprintf("sel%d", t), dists, 1)
+	}
+	return g
+}
+
+// coarse helper: one coarse-grained operation node.
+func coarseOp(g *graph.DAG, label string, w float64, parents ...int) int {
+	v := g.AddNodeLabeled(label, w, 1)
+	for _, p := range parents {
+		if p >= 0 {
+			g.AddEdge(p, v)
+		}
+	}
+	return v
+}
+
+// BiCGSTAB builds a coarse-grained DAG of k iterations of the BiCGSTAB
+// Krylov solver: each node is a whole vector operation (SpMV ω=8, dot
+// ω=3, axpy ω=2, scalar ω=1).
+func BiCGSTAB(k int) *graph.DAG {
+	g := graph.New("bicgstab")
+	b := g.AddNodeLabeled("b", 0, 1)
+	x := g.AddNodeLabeled("x0", 0, 1)
+	r := coarseOp(g, "r0", 8, b, x) // r0 = b - A x0
+	rhat := coarseOp(g, "rhat", 1, r)
+	p := coarseOp(g, "p0", 1, r)
+	for t := 1; t <= k; t++ {
+		v := coarseOp(g, fmt.Sprintf("v%d", t), 8, p)            // v = A p
+		rhoR := coarseOp(g, fmt.Sprintf("rho%d", t), 3, rhat, r) // rho = (rhat, r)
+		alpha := coarseOp(g, fmt.Sprintf("alpha%d", t), 3, rhoR, rhat, v)
+		h := coarseOp(g, fmt.Sprintf("h%d", t), 2, x, alpha, p)
+		sv := coarseOp(g, fmt.Sprintf("s%d", t), 2, r, alpha, v)
+		tv := coarseOp(g, fmt.Sprintf("t%d", t), 8, sv) // t = A s
+		omega := coarseOp(g, fmt.Sprintf("omega%d", t), 3, tv, sv)
+		x = coarseOp(g, fmt.Sprintf("x%d", t), 2, h, omega, sv)
+		newR := coarseOp(g, fmt.Sprintf("r%d", t), 2, sv, omega, tv)
+		beta := coarseOp(g, fmt.Sprintf("beta%d", t), 1, rhoR, newR, rhat, alpha, omega)
+		p = coarseOp(g, fmt.Sprintf("p%d", t), 2, newR, beta, p, omega, v)
+		r = newR
+	}
+	return g
+}
+
+// KMeans builds a coarse-grained k-means DAG: iters rounds of per-cluster
+// distance/assignment blocks followed by centroid updates and a
+// convergence check that feeds the next round.
+func KMeans(clusters, iters int) *graph.DAG {
+	g := graph.New("k-means")
+	data := g.AddNodeLabeled("data", 0, 1)
+	cents := make([]int, clusters)
+	for c := 0; c < clusters; c++ {
+		cents[c] = g.AddNodeLabeled(fmt.Sprintf("c0_%d", c), 0, 1)
+	}
+	for t := 1; t <= iters; t++ {
+		var assigns []int
+		for c := 0; c < clusters; c++ {
+			d := coarseOp(g, fmt.Sprintf("dist%d_%d", t, c), 4, data, cents[c])
+			assigns = append(assigns, d)
+		}
+		asg := coarseOp(g, fmt.Sprintf("assign%d", t), 3, assigns...)
+		newCents := make([]int, clusters)
+		for c := 0; c < clusters; c++ {
+			newCents[c] = coarseOp(g, fmt.Sprintf("c%d_%d", t, c), 4, asg, data, cents[c])
+		}
+		cents = newCents
+		coarseOp(g, fmt.Sprintf("conv%d", t), 1, cents...)
+	}
+	return g
+}
+
+// Pregel builds a coarse-grained Pregel (vertex-centric BSP graph
+// processing) DAG: parts graph partitions, rounds supersteps; each round
+// has per-partition compute nodes, pairwise message-exchange nodes, and a
+// global aggregator.
+func Pregel(parts, rounds int) *graph.DAG {
+	g := graph.New("pregel")
+	state := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		state[p] = g.AddNodeLabeled(fmt.Sprintf("part0_%d", p), 0, 1)
+	}
+	for t := 1; t <= rounds; t++ {
+		comp := make([]int, parts)
+		for p := 0; p < parts; p++ {
+			comp[p] = coarseOp(g, fmt.Sprintf("compute%d_%d", t, p), 5, state[p])
+		}
+		msgs := make([]int, parts)
+		for p := 0; p < parts; p++ {
+			// Messages to p from ring neighbours.
+			l := (p + parts - 1) % parts
+			r := (p + 1) % parts
+			msgs[p] = coarseOp(g, fmt.Sprintf("msgs%d_%d", t, p), 2, comp[l], comp[r], comp[p])
+		}
+		agg := coarseOp(g, fmt.Sprintf("agg%d", t), 1, comp...)
+		for p := 0; p < parts; p++ {
+			state[p] = coarseOp(g, fmt.Sprintf("part%d_%d", t, p), 1, msgs[p], agg)
+		}
+	}
+	return g
+}
+
+// PageRank builds the coarse-grained simple_pagerank DAG: iters rounds of
+// per-partition rank contributions, a dangling-mass aggregate, and rank
+// updates.
+func PageRank(parts, iters int) *graph.DAG {
+	g := graph.New("simple_pagerank")
+	ranks := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		ranks[p] = g.AddNodeLabeled(fmt.Sprintf("rank0_%d", p), 0, 1)
+	}
+	for t := 1; t <= iters; t++ {
+		contrib := make([]int, parts)
+		for p := 0; p < parts; p++ {
+			contrib[p] = coarseOp(g, fmt.Sprintf("contrib%d_%d", t, p), 4, ranks[p])
+		}
+		mass := coarseOp(g, fmt.Sprintf("mass%d", t), 2, contrib...)
+		for p := 0; p < parts; p++ {
+			l := (p + parts - 1) % parts
+			r := (p + 1) % parts
+			ranks[p] = coarseOp(g, fmt.Sprintf("rank%d_%d", t, p), 3,
+				contrib[l], contrib[p], contrib[r], mass)
+		}
+	}
+	return g
+}
+
+// SNNI builds the snni_graphchallenge-style sparse neural network
+// inference DAG: layers of sparse matvec + bias + ReLU blocks over a
+// partitioned activation vector.
+func SNNI(parts, layers int, seed int64) *graph.DAG {
+	g := graph.New("snni_graphchall.")
+	rng := rand.New(rand.NewSource(seed))
+	act := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		act[p] = g.AddNodeLabeled(fmt.Sprintf("act0_%d", p), 0, 1)
+	}
+	for t := 1; t <= layers; t++ {
+		next := make([]int, parts)
+		for p := 0; p < parts; p++ {
+			// Sparse layer: each output partition reads 2-3 input partitions.
+			ins := []int{act[p]}
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				ins = append(ins, act[rng.Intn(parts)])
+			}
+			mv := coarseOp(g, fmt.Sprintf("mv%d_%d", t, p), 6, ins...)
+			next[p] = coarseOp(g, fmt.Sprintf("relu%d_%d", t, p), 1, mv)
+		}
+		act = next
+	}
+	return g
+}

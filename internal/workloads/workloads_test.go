@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"testing"
+
+	"mbsp/internal/graph"
+)
+
+func TestAllTinyInstancesValid(t *testing.T) {
+	for _, inst := range Tiny() {
+		if err := inst.DAG.Validate(); err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+		}
+		if inst.DAG.N() < 10 {
+			t.Errorf("%s: suspiciously small (n=%d)", inst.Name, inst.DAG.N())
+		}
+		if len(inst.DAG.Sources()) == 0 || len(inst.DAG.Sinks()) == 0 {
+			t.Errorf("%s: missing sources or sinks", inst.Name)
+		}
+	}
+}
+
+func TestAllSmallInstancesValid(t *testing.T) {
+	for _, inst := range Small() {
+		if err := inst.DAG.Validate(); err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+		}
+		if inst.DAG.N() < 30 {
+			t.Errorf("%s: expected larger instance, n=%d", inst.Name, inst.DAG.N())
+		}
+	}
+}
+
+func TestPaperDatasetsValidAndLarger(t *testing.T) {
+	tiny, paper := Tiny(), PaperTiny()
+	var tinyN, paperN int
+	for _, i := range tiny {
+		tinyN += i.DAG.N()
+	}
+	for _, i := range paper {
+		if err := i.DAG.Validate(); err != nil {
+			t.Errorf("%s: %v", i.Name, err)
+		}
+		paperN += i.DAG.N()
+	}
+	if paperN <= tinyN {
+		t.Errorf("paper-tiny total nodes %d not larger than tiny %d", paperN, tinyN)
+	}
+	for _, i := range PaperSmall() {
+		if err := i.DAG.Validate(); err != nil {
+			t.Errorf("%s: %v", i.Name, err)
+		}
+	}
+}
+
+func TestDatasetsAreDeterministic(t *testing.T) {
+	a, b := Tiny(), Tiny()
+	for i := range a {
+		if a[i].DAG.N() != b[i].DAG.N() || a[i].DAG.M() != b[i].DAG.M() {
+			t.Fatalf("%s: nondeterministic structure", a[i].Name)
+		}
+		for v := 0; v < a[i].DAG.N(); v++ {
+			if a[i].DAG.Mem(v) != b[i].DAG.Mem(v) || a[i].DAG.Comp(v) != b[i].DAG.Comp(v) {
+				t.Fatalf("%s: nondeterministic weights at node %d", a[i].Name, v)
+			}
+		}
+	}
+}
+
+func TestMemWeightsInRange(t *testing.T) {
+	for _, inst := range Tiny() {
+		for v := 0; v < inst.DAG.N(); v++ {
+			m := inst.DAG.Mem(v)
+			if m < 1 || m > 5 || m != float64(int(m)) {
+				t.Fatalf("%s node %d: μ=%g not in {1..5}", inst.Name, v, m)
+			}
+		}
+	}
+}
+
+func TestSpMVStructure(t *testing.T) {
+	g := SpMV(6, 1)
+	// 6 sources (x), then mults and adds.
+	if got := len(g.Sources()); got != 6 {
+		t.Fatalf("sources=%d want 6", got)
+	}
+	// Each sink is a row result; 6 rows.
+	if got := len(g.Sinks()); got != 6 {
+		t.Fatalf("sinks=%d want 6", got)
+	}
+	// Multiply nodes have exactly one parent (the x entry).
+	muls := 0
+	for v := 0; v < g.N(); v++ {
+		if g.InDegree(v) == 1 && !g.IsSource(v) {
+			muls++
+		}
+	}
+	if muls == 0 {
+		t.Fatal("no multiply nodes found")
+	}
+}
+
+func TestIteratedSpMVDepth(t *testing.T) {
+	g := IteratedSpMV(4, 3, 1)
+	lv := g.Levels()
+	maxLv := 0
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	// At least one multiply + one add level per iteration.
+	if maxLv < 3 {
+		t.Fatalf("iterated SpMV too shallow: depth=%d", maxLv)
+	}
+}
+
+func TestCGHasDotReductionsAndIterationChain(t *testing.T) {
+	g := CG(3, 2, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// CG iterations serialize through alpha/beta scalars, so the DAG must
+	// be deep: at least 6 levels per iteration.
+	lv := g.Levels()
+	maxLv := 0
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	if maxLv < 8 {
+		t.Fatalf("CG depth=%d, expected a deep iteration chain", maxLv)
+	}
+}
+
+func TestKNNSelectionDependsOnPreviousRound(t *testing.T) {
+	g := KNN(4, 2, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Round-2 distance nodes have 3 parents (point, query, previous selection).
+	found := false
+	for v := 0; v < g.N(); v++ {
+		if g.Label(v) == "d1_0" {
+			found = true
+			if g.InDegree(v) != 3 {
+				t.Fatalf("d1_0 in-degree=%d want 3", g.InDegree(v))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("d1_0 not found")
+	}
+}
+
+func TestCoarseGrainedShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.DAG
+	}{
+		{"bicgstab", BiCGSTAB(3)},
+		{"kmeans", KMeans(4, 3)},
+		{"pregel", Pregel(4, 3)},
+		{"pagerank", PageRank(4, 3)},
+		{"snni", SNNI(4, 4, 1)},
+	} {
+		if err := tc.g.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if tc.g.N() < 10 || tc.g.M() < tc.g.N()-1 {
+			t.Errorf("%s: degenerate shape n=%d m=%d", tc.name, tc.g.N(), tc.g.M())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	inst, err := ByName("spmv_N6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "spmv_N6" {
+		t.Fatalf("got %q", inst.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestInstanceSizes(t *testing.T) {
+	// Log sizes so dataset scale drift is visible in -v output.
+	for _, inst := range Tiny() {
+		t.Logf("tiny %-12s n=%3d m=%3d r0=%g", inst.Name, inst.DAG.N(), inst.DAG.M(), inst.DAG.MinCache())
+	}
+	for _, inst := range Small() {
+		t.Logf("small %-16s n=%3d m=%3d", inst.Name, inst.DAG.N(), inst.DAG.M())
+	}
+}
