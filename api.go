@@ -22,6 +22,7 @@
 package mbsp
 
 import (
+	"context"
 	"io"
 
 	"mbsp/internal/bsp"
@@ -32,6 +33,7 @@ import (
 	"mbsp/internal/ilpsched"
 	model "mbsp/internal/mbsp"
 	"mbsp/internal/memmgr"
+	"mbsp/internal/portfolio"
 	"mbsp/internal/refine"
 	"mbsp/internal/twostage"
 	"mbsp/internal/workloads"
@@ -115,6 +117,39 @@ func ScheduleCilkLRU(g *DAG, arch Arch, seed int64) (*Schedule, error) {
 // than the warm start under opts.Model.
 func ScheduleILP(g *DAG, arch Arch, opts ILPOptions) (*Schedule, ILPStats, error) {
 	return ilpsched.Solve(g, arch, opts)
+}
+
+// Portfolio scheduling re-exports.
+type (
+	// PortfolioOptions configures the concurrent scheduler portfolio; see
+	// internal/portfolio.Options for field documentation.
+	PortfolioOptions = portfolio.Options
+	// PortfolioResult carries the winning schedule plus per-scheduler
+	// timing and cost stats in deterministic candidate order.
+	PortfolioResult = portfolio.Result
+	// PortfolioCandidate is one scheduler in a portfolio.
+	PortfolioCandidate = portfolio.Candidate
+	// PortfolioCandidateResult is one scheduler's outcome.
+	PortfolioCandidateResult = portfolio.CandidateResult
+)
+
+// DefaultCandidates returns every scheduler applicable to g on arch: the
+// two-stage baselines (BSPg/Cilk/DFS × clairvoyant/LRU), the holistic
+// ILP, and the divide-and-conquer ILP for DAGs large enough to split.
+func DefaultCandidates(g *DAG, arch Arch) []PortfolioCandidate {
+	return portfolio.DefaultCandidates(g, arch)
+}
+
+// SchedulePortfolio races every applicable scheduler concurrently over a
+// bounded worker pool, validates each result, and returns the cheapest
+// valid schedule with per-scheduler stats. Concurrency adds no
+// nondeterminism: for a fixed opts.Seed, results are identical under any
+// GOMAXPROCS whenever the candidate budgets bind deterministically (use
+// opts.ILPNodeLimit instead of the wall-clock ILPTimeLimit for
+// byte-identical schedules). Cancelling ctx returns the best schedule
+// found so far.
+func SchedulePortfolio(ctx context.Context, g *DAG, arch Arch, opts PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.Run(ctx, g, arch, opts)
 }
 
 // DNCOptions configures the divide-and-conquer ILP scheduler.

@@ -2,6 +2,7 @@ package mbsp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -172,5 +173,36 @@ func TestTwoStageGapCostsAPI(t *testing.T) {
 	}
 	if two <= holo {
 		t.Fatalf("two-stage %g should exceed holistic %g", two, holo)
+	}
+}
+
+func TestPublicSchedulePortfolio(t *testing.T) {
+	g := buildAPIDAG(t)
+	arch := Arch{P: 2, R: 3 * g.MinCache(), G: 1, L: 5}
+	res, err := SchedulePortfolio(context.Background(), g, arch, PortfolioOptions{
+		ILPTimeLimit: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The portfolio contains the baseline and the ILP, so it can be worse
+	// than neither.
+	base, err := ScheduleBaseline(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > base.SyncCost()+1e-9 {
+		t.Fatalf("portfolio best %g worse than baseline %g", res.BestCost, base.SyncCost())
+	}
+	if len(res.Candidates) != len(DefaultCandidates(g, arch)) {
+		t.Fatalf("expected %d candidate results, got %d", len(DefaultCandidates(g, arch)), len(res.Candidates))
+	}
+	for _, c := range res.Candidates {
+		if c.Err != nil {
+			t.Fatalf("candidate %s failed: %v", c.Name, c.Err)
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package mbsp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"mbsp/internal/ilpsched"
 	model "mbsp/internal/mbsp"
 	"mbsp/internal/partition"
+	"mbsp/internal/portfolio"
 	"mbsp/internal/twostage"
 	"mbsp/internal/workloads"
 )
@@ -362,6 +364,48 @@ func BenchmarkPartitionerAblation(b *testing.B) {
 		b.ReportMetric(float64(rg.CutEdges), "greedy-cut")
 		if ri.CutEdges > rg.CutEdges {
 			b.Logf("note: ILP cut %d above greedy %d (time-limited)", ri.CutEdges, rg.CutEdges)
+		}
+	}
+}
+
+// E12 — the concurrent scheduler portfolio: racing every applicable
+// scheduler must never lose to the main baseline, and the win comes from
+// diversity (different schedulers win on different instances).
+func BenchmarkPortfolio(b *testing.B) {
+	insts := workloads.Tiny()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		var ratios []float64
+		winners := map[string]bool{}
+		for _, inst := range insts {
+			arch := cfg.Arch(inst.DAG)
+			res, err := portfolio.Run(context.Background(), inst.DAG, arch, portfolio.Options{
+				Model:             cfg.Model,
+				ILPTimeLimit:      cfg.ILPTimeLimit,
+				LocalSearchBudget: cfg.LocalSearchBudget,
+				Seed:              cfg.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := experiments.Baseline().Run(inst.DAG, arch, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.BestCost > base.Cost(cfg.Model)+1e-9 {
+				b.Fatalf("%s: portfolio %g worse than baseline %g", inst.Name, res.BestCost, base.Cost(cfg.Model))
+			}
+			ratios = append(ratios, res.BestCost/base.Cost(cfg.Model))
+			winners[res.BestName] = true
+			if i == 0 {
+				b.Logf("%-20s best=%-16s cost=%g", inst.Name, res.BestName, res.BestCost)
+			}
+		}
+		gm := experiments.GeoMean(ratios)
+		b.ReportMetric(gm, "portfolio/base")
+		b.ReportMetric(float64(len(winners)), "distinct-winners")
+		if gm > 1.0 {
+			b.Fatalf("portfolio geomean ratio %g above 1 — best-of-all guarantee broken", gm)
 		}
 	}
 }

@@ -3,33 +3,45 @@
 //
 // Usage:
 //
-//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1]
+//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio]
 //	           [-dataset tiny|paper-tiny] [-timeout 2s] [-budget 2000]
-//	           [-csv out.csv]
+//	           [-workers 0] [-csv out.csv] [-json out.json]
 //
-// Budgets default to second-scale runs; raise -timeout and -budget (and
-// use -dataset paper-tiny) for runs closer to the paper's 60-minute
+// The experiment grid (instances × methods) runs concurrently over
+// -workers goroutines (0: GOMAXPROCS) with deterministic, ordered result
+// collection; the default is sequential because concurrent solvers share
+// the wall clock, making time-limited ILP numbers incomparable with
+// sequential runs. The portfolio experiment races every applicable scheduler
+// per instance and reports per-scheduler cost/timing; -json writes its
+// results as JSON (scripts/verify.sh tracks BENCH_portfolio.json across
+// PRs). Budgets default to second-scale runs; raise -timeout and -budget
+// (and use -dataset paper-tiny) for runs closer to the paper's 60-minute
 // solver budget.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mbsp/internal/experiments"
+	"mbsp/internal/portfolio"
 	"mbsp/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1")
-		dataset = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4: tiny or paper-tiny")
+		exp     = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1, portfolio")
+		dataset = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4/portfolio: tiny or paper-tiny")
 		timeout = flag.Duration("timeout", 2*time.Second, "ILP time limit per instance")
 		budget  = flag.Int("budget", 2000, "local-search evaluation budget")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 1, "concurrent grid cells / portfolio schedulers (0: GOMAXPROCS); default sequential — concurrent solvers share the wall clock, so parallel table numbers are not comparable with sequential runs")
 		csvOut  = flag.String("csv", "", "also write the last table as CSV to this file")
+		jsonOut = flag.String("json", "", "write portfolio experiment results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -37,6 +49,7 @@ func main() {
 	cfg.ILPTimeLimit = *timeout
 	cfg.LocalSearchBudget = *budget
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	var insts []workloads.Instance
 	switch *dataset {
@@ -84,6 +97,8 @@ func main() {
 		runFigure4(insts, cfg)
 	case "p1":
 		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
+	case "portfolio":
+		runPortfolio(insts, cfg, *dataset, *workers, *jsonOut)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -122,6 +137,93 @@ func runFigure4(insts []workloads.Instance, cfg experiments.Config) {
 	}
 	experiments.RenderBoxes(os.Stdout, boxes)
 	fmt.Printf("(figure4 took %.1fs)\n\n", time.Since(start).Seconds())
+}
+
+// portfolioJSON is the schema of -json output: one entry per instance
+// plus aggregate timing, consumed by scripts/verify.sh to track the
+// portfolio's performance trajectory across PRs.
+type portfolioJSON struct {
+	Dataset      string                  `json:"dataset"`
+	Workers      int                     `json:"workers"`
+	ILPTimeLimit string                  `json:"ilp_time_limit"`
+	Seed         int64                   `json:"seed"`
+	TotalSec     float64                 `json:"total_seconds"`
+	Instances    []portfolioInstanceJSON `json:"instances"`
+}
+
+type portfolioInstanceJSON struct {
+	Instance   string               `json:"instance"`
+	Best       string               `json:"best"`
+	BestCost   float64              `json:"best_cost"`
+	ElapsedSec float64              `json:"elapsed_seconds"`
+	Candidates []portfolioCandsJSON `json:"candidates"`
+}
+
+type portfolioCandsJSON struct {
+	Name       string  `json:"name"`
+	Cost       float64 `json:"cost,omitempty"`
+	ElapsedSec float64 `json:"elapsed_seconds"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// runPortfolio races the full scheduler portfolio on every instance and
+// reports per-scheduler cost and timing plus the win distribution.
+func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers int, jsonPath string) {
+	start := time.Now()
+	out := portfolioJSON{
+		Dataset:      dataset,
+		ILPTimeLimit: cfg.ILPTimeLimit.String(), Seed: cfg.Seed,
+	}
+	wins := map[string]int{}
+	fmt.Println("Portfolio: best-of-all-schedulers per instance")
+	fmt.Printf("%-20s%-18s%14s%10s\n", "Instance", "winner", "cost", "time")
+	for _, inst := range insts {
+		arch := cfg.Arch(inst.DAG)
+		res, err := portfolio.Run(context.Background(), inst.DAG, arch, portfolio.Options{
+			Model:             cfg.Model,
+			Workers:           workers,
+			ILPTimeLimit:      cfg.ILPTimeLimit,
+			LocalSearchBudget: cfg.LocalSearchBudget,
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("portfolio on %s: %w", inst.Name, err))
+		}
+		out.Workers = res.Workers
+		wins[res.BestName]++
+		fmt.Printf("%-20s%-18s%14.4g%9.2fs\n", inst.Name, res.BestName, res.BestCost, res.Elapsed.Seconds())
+		entry := portfolioInstanceJSON{
+			Instance: inst.Name, Best: res.BestName, BestCost: res.BestCost,
+			ElapsedSec: res.Elapsed.Seconds(),
+		}
+		for _, c := range res.Candidates {
+			cj := portfolioCandsJSON{Name: c.Name, ElapsedSec: c.Elapsed.Seconds()}
+			if c.Err != nil {
+				cj.Error = c.Err.Error()
+			} else {
+				cj.Cost = c.Cost
+			}
+			entry.Candidates = append(entry.Candidates, cj)
+		}
+		out.Instances = append(out.Instances, entry)
+	}
+	out.TotalSec = time.Since(start).Seconds()
+	fmt.Printf("wins by scheduler: %v\n", wins)
+	fmt.Printf("(portfolio took %.1fs)\n\n", out.TotalSec)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", jsonPath)
+	}
 }
 
 func fatal(err error) {

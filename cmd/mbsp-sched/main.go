@@ -5,14 +5,18 @@
 //
 //	mbsp-sched -dag file.dag | -instance spmv_N6
 //	           [-method base|cilk|ilp|dnc|exact]
+//	           [-portfolio] [-workers 0]
 //	           [-p 4] [-rfactor 3] [-r 0] [-g 1] [-l 10]
 //	           [-model sync|async] [-timeout 5s] [-print]
 //
-// The DAG comes either from a text file (see internal/graph format) or
-// from a named benchmark instance.
+// With -portfolio, every applicable scheduler races concurrently over a
+// bounded worker pool and the cheapest valid schedule wins; -method is
+// then ignored. The DAG comes either from a text file (see
+// internal/graph format) or from a named benchmark instance.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +39,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Second, "solver time limit")
 		print    = flag.Bool("print", false, "print the full schedule")
 		seed     = flag.Int64("seed", 1, "random seed for heuristics")
+		pfolio   = flag.Bool("portfolio", false, "race all applicable schedulers concurrently and keep the best")
+		workers  = flag.Int("workers", 0, "portfolio worker pool size (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -55,42 +61,36 @@ func main() {
 	fmt.Printf("arch %v, model %v\n", arch, costModel)
 
 	var s *mbsp.Schedule
-	switch *method {
-	case "base":
-		s, err = mbsp.ScheduleBaseline(g, arch)
-	case "cilk":
-		s, err = mbsp.ScheduleCilkLRU(g, arch, *seed)
-	case "ilp":
-		var stats mbsp.ILPStats
-		s, stats, err = mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{
-			Model: costModel, TimeLimit: *timeout, Seed: *seed,
+	if *pfolio {
+		res, perr := mbsp.SchedulePortfolio(context.Background(), g, arch, mbsp.PortfolioOptions{
+			Model:        costModel,
+			Workers:      *workers,
+			ILPTimeLimit: *timeout,
+			Seed:         *seed,
 		})
-		if err == nil {
-			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
-				stats.ModelVars, stats.ModelRows, stats.ILPStatus, stats.ILPNodes,
-				stats.WarmCost, stats.FinalCost, stats.Source)
+		if perr != nil {
+			fatal(perr)
 		}
-	case "dnc":
-		var stats mbsp.DNCStats
-		s, stats, err = mbsp.ScheduleDNC(g, arch, mbsp.DNCOptions{
-			Model: costModel, SubTimeLimit: *timeout, Seed: *seed,
-		})
-		if err == nil {
-			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",
-				stats.Parts, stats.CutEdges, stats.StreamlineWin)
+		fmt.Printf("portfolio: %d candidates, %d workers, %.2fs total\n",
+			len(res.Candidates), res.Workers, res.Elapsed.Seconds())
+		for _, c := range res.Candidates {
+			if c.Err != nil {
+				fmt.Printf("  %-18s failed: %v\n", c.Name, c.Err)
+				continue
+			}
+			marker := " "
+			if c.Name == res.BestName {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-16s cost %-12g (sync %g, async %g) in %.3fs\n",
+				marker, c.Name, c.Cost, c.SyncCost, c.AsyncCost, c.Elapsed.Seconds())
 		}
-	case "exact":
-		var res mbsp.ExactResult
-		res, err = mbsp.SolveExactP1(g, r, *gcost)
-		if err == nil {
-			s = res.Schedule
-			fmt.Printf("exact: optimal cost %g (%d states explored)\n", res.Cost, res.States)
+		s = res.Best
+	} else {
+		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed)
+		if err != nil {
+			fatal(err)
 		}
-	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
-	}
-	if err != nil {
-		fatal(err)
 	}
 	if err := s.Validate(); err != nil {
 		fatal(fmt.Errorf("produced schedule invalid: %w", err))
@@ -103,6 +103,46 @@ func main() {
 	if *print {
 		fmt.Print(s)
 	}
+}
+
+func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64) (*mbsp.Schedule, error) {
+	var s *mbsp.Schedule
+	var err error
+	switch method {
+	case "base":
+		s, err = mbsp.ScheduleBaseline(g, arch)
+	case "cilk":
+		s, err = mbsp.ScheduleCilkLRU(g, arch, seed)
+	case "ilp":
+		var stats mbsp.ILPStats
+		s, stats, err = mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{
+			Model: costModel, TimeLimit: timeout, Seed: seed,
+		})
+		if err == nil {
+			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
+				stats.ModelVars, stats.ModelRows, stats.ILPStatus, stats.ILPNodes,
+				stats.WarmCost, stats.FinalCost, stats.Source)
+		}
+	case "dnc":
+		var stats mbsp.DNCStats
+		s, stats, err = mbsp.ScheduleDNC(g, arch, mbsp.DNCOptions{
+			Model: costModel, SubTimeLimit: timeout, Seed: seed,
+		})
+		if err == nil {
+			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",
+				stats.Parts, stats.CutEdges, stats.StreamlineWin)
+		}
+	case "exact":
+		var res mbsp.ExactResult
+		res, err = mbsp.SolveExactP1(g, arch.R, arch.G)
+		if err == nil {
+			s = res.Schedule
+			fmt.Printf("exact: optimal cost %g (%d states explored)\n", res.Cost, res.States)
+		}
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+	return s, err
 }
 
 func loadDAG(file, instance string) (*mbsp.DAG, error) {

@@ -1,0 +1,3 @@
+module mbsp
+
+go 1.24

@@ -22,6 +22,7 @@
 package dnc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,11 @@ import (
 
 // Options configures the divide-and-conquer scheduler.
 type Options struct {
-	Model mbsp.CostModel
+	// Context, when non-nil, cancels the run: each sub-ILP is cancelled
+	// in place, and Solve returns ctx.Err() if cancellation strikes
+	// between parts (a partial concatenation is never a valid schedule).
+	Context context.Context
+	Model   mbsp.CostModel
 	// MaxPartSize bounds subproblem DAG size (the paper splits to parts
 	// of at most 60 nodes). Default 45.
 	MaxPartSize int
@@ -100,6 +105,9 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 
 	out := mbsp.NewSchedule(g, arch)
 	for k, nodes := range parts {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return nil, stats, fmt.Errorf("dnc: cancelled before part %d: %w", k, opts.Context.Err())
+		}
 		sub, schedErr := schedulePart(g, arch, opts, pres.Part, k, nodes, &stats)
 		if schedErr != nil {
 			return nil, stats, fmt.Errorf("dnc: part %d: %w", k, schedErr)
@@ -207,6 +215,7 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 	}
 
 	subSched, subStats, err := ilpsched.Solve(sub, arch, ilpsched.Options{
+		Context:           opts.Context,
 		Model:             opts.Model,
 		WarmStart:         warm,
 		NeedBlue:          needBlue,

@@ -12,7 +12,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mbsp/internal/bounds"
@@ -36,6 +39,12 @@ type Config struct {
 	ILPTimeLimit      time.Duration // per instance
 	LocalSearchBudget int
 	Seed              int64
+
+	// Workers bounds how many (instance, method) grid cells run
+	// concurrently. 0 selects GOMAXPROCS; 1 is the sequential path.
+	// Results are collected in grid order, so for deterministic methods
+	// the rendered table is identical for any worker count.
+	Workers int
 }
 
 // Base returns the paper's main configuration (P=4, r=3·r0, g=1, L=10,
@@ -168,39 +177,98 @@ func BSPILPPlusILP() Method {
 	}}
 }
 
-// Run evaluates the methods on every instance and returns the table.
+// Run evaluates the methods on every instance and returns the table. The
+// instances × methods grid is fanned out over cfg.Workers goroutines;
+// results are collected in grid order (instance-major, method-minor), so
+// the table — and, on failure, the reported error — match the sequential
+// path cell for cell.
 func Run(name string, insts []workloads.Instance, cfg Config, methods ...Method) (*Table, error) {
 	t := &Table{Name: name}
 	for _, m := range methods {
 		t.Methods = append(t.Methods, m.Name)
 	}
-	for _, inst := range insts {
-		arch := cfg.Arch(inst.DAG)
-		row := Row{Instance: inst.Name}
-		for _, m := range methods {
-			s, err := m.Run(inst.DAG, arch, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", m.Name, inst.Name, err)
+	nm := len(methods)
+	cells := len(insts) * nm
+	if cells == 0 {
+		return t, nil
+	}
+	costs := make([]float64, cells)
+	errs := make([]error, cells)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cells {
+		workers = cells
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	// Lowest failing cell index seen so far. Once a cell fails the table
+	// is lost, so cells after it skip their solver work — but cells
+	// before it still run, keeping the reported error the first in grid
+	// order exactly as the sequential path would.
+	firstFail := atomic.Int64{}
+	firstFail.Store(int64(cells))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if int64(idx) > firstFail.Load() {
+					continue
+				}
+				costs[idx], errs[idx] = runCell(insts[idx/nm], methods[idx%nm], cfg)
+				if errs[idx] != nil {
+					for {
+						cur := firstFail.Load()
+						if int64(idx) >= cur || firstFail.CompareAndSwap(cur, int64(idx)) {
+							break
+						}
+					}
+				}
 			}
-			if err := s.Validate(); err != nil {
-				return nil, fmt.Errorf("%s on %s produced invalid schedule: %w", m.Name, inst.Name, err)
-			}
-			cost := s.Cost(cfg.Model)
-			// Soundness net: no scheduler may beat the proven lower
-			// bound.
-			lb := bounds.AsyncLB(inst.DAG, arch)
-			if cfg.Model == mbsp.Sync {
-				lb = bounds.SyncLB(inst.DAG, arch)
-			}
-			if cost < lb-1e-9 {
-				return nil, fmt.Errorf("%s on %s reports cost %g below the lower bound %g",
-					m.Name, inst.Name, cost, lb)
-			}
-			row.Costs = append(row.Costs, cost)
+		}()
+	}
+	for idx := 0; idx < cells; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for idx := 0; idx < cells; idx++ {
+		if errs[idx] != nil {
+			return nil, errs[idx]
 		}
+	}
+	for i, inst := range insts {
+		row := Row{Instance: inst.Name, Costs: costs[i*nm : (i+1)*nm : (i+1)*nm]}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// runCell evaluates one (instance, method) grid cell.
+func runCell(inst workloads.Instance, m Method, cfg Config) (float64, error) {
+	arch := cfg.Arch(inst.DAG)
+	s, err := m.Run(inst.DAG, arch, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("%s on %s: %w", m.Name, inst.Name, err)
+	}
+	if err := s.Validate(); err != nil {
+		return 0, fmt.Errorf("%s on %s produced invalid schedule: %w", m.Name, inst.Name, err)
+	}
+	cost := s.Cost(cfg.Model)
+	// Soundness net: no scheduler may beat the proven lower bound.
+	lb := bounds.AsyncLB(inst.DAG, arch)
+	if cfg.Model == mbsp.Sync {
+		lb = bounds.SyncLB(inst.DAG, arch)
+	}
+	if cost < lb-1e-9 {
+		return 0, fmt.Errorf("%s on %s reports cost %g below the lower bound %g",
+			m.Name, inst.Name, cost, lb)
+	}
+	return cost, nil
 }
 
 // BoxSummary is the five-number summary used to render Figure 4.

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/workloads"
+)
+
+// TestParallelMatchesSequential asserts the acceptance property of the
+// concurrent harness: for a fixed seed and deterministic methods, the
+// parallel grid renders (text and CSV) byte-identically to the
+// sequential path, for several worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	insts := workloads.Tiny()
+	render := func(workers int) []byte {
+		cfg := Base()
+		cfg.Workers = workers
+		tab, err := Run("equivalence", insts, cfg, Baseline(), CilkLRUMethod())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d table differs from sequential:\n%s\nvs\n%s", workers, want, got)
+		}
+	}
+}
+
+// TestParallelErrorMatchesSequential pins the error semantics: the
+// parallel run must report the error of the first failing cell in grid
+// order, exactly like the sequential loop did.
+func TestParallelErrorMatchesSequential(t *testing.T) {
+	insts := workloads.Tiny()[:4]
+	failOn := insts[1].Name
+	failing := Method{Name: "failing", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
+		if g.Name() == failOn || g.Name() == insts[2].Name {
+			return nil, fmt.Errorf("boom on %s", g.Name())
+		}
+		return Baseline().Run(g, arch, cfg)
+	}}
+	var want error
+	for _, workers := range []int{1, 8} {
+		cfg := Base()
+		cfg.Workers = workers
+		_, err := Run("errors", insts, cfg, failing)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		if want == nil {
+			want = err
+			continue
+		}
+		if err.Error() != want.Error() {
+			t.Fatalf("workers=%d error %q differs from sequential %q", workers, err, want)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package ilpsched
 
 import (
+	"context"
 	"time"
 
 	"mbsp/internal/mbsp"
@@ -26,6 +27,10 @@ import (
 
 // Options configures the ILP scheduler.
 type Options struct {
+	// Context, when non-nil, cancels the tree search and the local-search
+	// heuristic early. Solve still returns the best schedule found so far
+	// (at minimum the warm start), never an error, on cancellation.
+	Context context.Context
 	// Model selects the synchronous or asynchronous objective.
 	Model mbsp.CostModel
 	// ExtraSteps is added to the warm start's step count to give the

@@ -22,6 +22,10 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 	opts = opts.withDefaults()
 	start := time.Now()
 	var stats Stats
+	var done <-chan struct{}
+	if opts.Context != nil {
+		done = opts.Context.Done()
+	}
 
 	warm := opts.WarmStart
 	if warm == nil {
@@ -72,6 +76,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			NodeLimit: opts.NodeLimit,
 			WarmStart: x,
 			Logf:      opts.Logf,
+			Cancel:    done,
 		})
 		stats.ILPStatus = res.Status.String()
 		stats.ILPNodes = res.Nodes
@@ -98,7 +103,8 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 	// yields a provably optimal schedule — including recomputation
 	// decisions the tree search rarely reaches.
 	if arch.P == 1 && arch.L == 0 && g.N() <= exact.MaxNodes &&
-		len(opts.InitialRed) == 0 && len(opts.NeedBlue) == 0 {
+		len(opts.InitialRed) == 0 && len(opts.NeedBlue) == 0 &&
+		(opts.Context == nil || opts.Context.Err() == nil) {
 		res, exErr := exact.SolveOpts(g, arch.R, arch.G, exact.Options{
 			NoRecompute: opts.NoRecompute,
 			StateBudget: 2_000_000,
@@ -121,6 +127,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			Seed:      opts.Seed,
 			Model:     opts.Model,
 			ExtraSave: opts.NeedBlue,
+			Cancel:    done,
 		})
 		stats.LocalMoves = r.Evals
 		if r.Cost < bestCost-1e-9 {

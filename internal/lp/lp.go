@@ -107,9 +107,10 @@ type Result struct {
 
 // Options tunes the solver. Zero values select defaults.
 type Options struct {
-	MaxIters int       // default 50·(m+n)
-	Eps      float64   // feasibility/optimality tolerance, default 1e-7
-	Deadline time.Time // abort with IterLimit when exceeded (checked periodically)
+	MaxIters int             // default 50·(m+n)
+	Eps      float64         // feasibility/optimality tolerance, default 1e-7
+	Deadline time.Time       // abort with IterLimit when exceeded (checked periodically)
+	Cancel   <-chan struct{} // abort with IterLimit when closed (checked periodically)
 }
 
 const defaultEps = 1e-7
@@ -138,6 +139,7 @@ type simplex struct {
 	x        []float64
 	eps      float64
 	deadline time.Time
+	cancel   <-chan struct{}
 }
 
 // Solve minimizes the problem.
@@ -150,7 +152,7 @@ func Solve(p *Problem, opts Options) Result {
 	if opts.MaxIters == 0 {
 		opts.MaxIters = 50*(m+n) + 1000
 	}
-	s := &simplex{m: m, nOrig: n, eps: opts.Eps, deadline: opts.Deadline}
+	s := &simplex{m: m, nOrig: n, eps: opts.Eps, deadline: opts.Deadline, cancel: opts.Cancel}
 
 	// Assemble columns: structural, then one slack per row, then
 	// artificials added on demand.
@@ -327,8 +329,17 @@ func (s *simplex) iterate(c []float64, maxIters int) (Status, int) {
 	useBland := false
 	checkDeadline := !s.deadline.IsZero()
 	for it := 0; it < maxIters; it++ {
-		if checkDeadline && it%64 == 0 && time.Now().After(s.deadline) {
-			return IterLimit, it
+		if it%64 == 0 {
+			if checkDeadline && time.Now().After(s.deadline) {
+				return IterLimit, it
+			}
+			if s.cancel != nil {
+				select {
+				case <-s.cancel:
+					return IterLimit, it
+				default:
+				}
+			}
 		}
 		// Duals y = c_B · B⁻¹.
 		for i := 0; i < m; i++ {

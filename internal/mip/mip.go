@@ -174,8 +174,9 @@ type Options struct {
 	Eps        float64       // integrality tolerance, default 1e-6
 	WarmStart  []float64     // optional feasible solution used as incumbent
 	Logf       func(format string, args ...interface{})
-	AbsGap     float64 // stop when incumbent − bound ≤ AbsGap (default 1e-6)
-	LPMaxIters int     // per-node LP iteration limit (0: lp default)
+	AbsGap     float64         // stop when incumbent − bound ≤ AbsGap (default 1e-6)
+	LPMaxIters int             // per-node LP iteration limit (0: lp default)
+	Cancel     <-chan struct{} // stop the search when closed, keeping the incumbent
 }
 
 type node struct {
@@ -221,7 +222,7 @@ func (m *Model) Solve(opts Options) Result {
 	rootSolved := false
 
 	for len(stack) > 0 {
-		if time.Now().After(deadline) || res.Nodes >= opts.NodeLimit {
+		if cancelled(opts.Cancel) || time.Now().After(deadline) || res.Nodes >= opts.NodeLimit {
 			if res.X != nil {
 				res.Status = Feasible
 			}
@@ -233,7 +234,7 @@ func (m *Model) Solve(opts Options) Result {
 		res.Nodes++
 
 		relax := &lp.Problem{Obj: m.prob.Obj, Lb: nd.lb, Ub: nd.ub, Rows: m.prob.Rows}
-		lpRes := lp.Solve(relax, lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline})
+		lpRes := lp.Solve(relax, lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline, Cancel: opts.Cancel})
 		res.LPs++
 		if !rootSolved {
 			rootSolved = true
@@ -314,3 +315,16 @@ func (m *Model) Solve(opts Options) Result {
 
 // RowDef exposes row i for diagnostics.
 func (m *Model) RowDef(i int) lp.RowDef { return m.prob.Rows[i] }
+
+// cancelled reports whether the cancel channel is closed without blocking.
+func cancelled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}

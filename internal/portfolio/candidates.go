@@ -1,0 +1,133 @@
+package portfolio
+
+import (
+	"context"
+
+	"mbsp/internal/bsp"
+	"mbsp/internal/dnc"
+	"mbsp/internal/graph"
+	"mbsp/internal/ilpsched"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/memmgr"
+	"mbsp/internal/twostage"
+)
+
+// Candidate is one scheduler in the portfolio. Run must be safe for
+// concurrent use with other candidates on the same DAG (schedulers never
+// mutate the input graph) and should honor ctx where it can; fast greedy
+// candidates may ignore it.
+type Candidate struct {
+	Name string
+	Run  func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error)
+}
+
+// dncMinNodes gates the divide-and-conquer candidate: below this size a
+// single holistic ILP window covers the whole DAG, so the split only adds
+// boundary traffic.
+const dncMinNodes = 24
+
+// DefaultCandidates returns every scheduler applicable to g on arch:
+// the two-stage baselines (stage-1 BSPg/Cilk/DFS × clairvoyant/LRU
+// eviction), the holistic ILP, and — for DAGs large enough to split —
+// its divide-and-conquer variant. For P=1 the multiprocessor stage-1
+// schedulers reduce to DFS, so only the DFS pipelines and the ILP run.
+func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
+	var cands []Candidate
+	if arch.P > 1 {
+		cands = append(cands,
+			pipelineCandidate("bspg+clairvoyant", func(opts Options) twostage.Pipeline {
+				return twostage.BSPgClairvoyant(arch.G, arch.L)
+			}),
+			pipelineCandidate("bspg+lru", func(opts Options) twostage.Pipeline {
+				return twostage.Pipeline{
+					Name: "BSPg+LRU",
+					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+						return bsp.BSPg(g, p, bsp.BSPgOptions{G: arch.G, L: arch.L})
+					},
+					Policy: memmgr.LRU{},
+				}
+			}),
+			pipelineCandidate("cilk+clairvoyant", func(opts Options) twostage.Pipeline {
+				return twostage.Pipeline{
+					Name: "Cilk+clairvoyant",
+					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+						return bsp.Cilk(g, p, candidateSeed(opts.Seed, "cilk+clairvoyant"))
+					},
+					Policy: memmgr.Clairvoyant{},
+				}
+			}),
+			pipelineCandidate("cilk+lru", func(opts Options) twostage.Pipeline {
+				return twostage.Pipeline{
+					Name: "Cilk+LRU",
+					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+						return bsp.Cilk(g, p, candidateSeed(opts.Seed, "cilk+lru"))
+					},
+					Policy: memmgr.LRU{},
+				}
+			}),
+		)
+	}
+	cands = append(cands,
+		// DFS runs everything on one processor: on P>1 architectures it
+		// wins when synchronization and communication dominate compute.
+		pipelineCandidate("dfs+clairvoyant", func(opts Options) twostage.Pipeline {
+			return twostage.DFSClairvoyant()
+		}),
+		pipelineCandidate("dfs+lru", func(opts Options) twostage.Pipeline {
+			return twostage.Pipeline{
+				Name:   "DFS+LRU",
+				Stage1: func(g *graph.DAG, p int) *bsp.Schedule { return bsp.DFS(g) },
+				Policy: memmgr.LRU{},
+			}
+		}),
+		ILPCandidate(),
+	)
+	if g.N() >= dncMinNodes {
+		cands = append(cands, DNCCandidate(0))
+	}
+	return cands
+}
+
+// pipelineCandidate wraps a two-stage pipeline as a candidate. The
+// pipelines are greedy and fast, so they only consult ctx up front.
+func pipelineCandidate(name string, mk func(opts Options) twostage.Pipeline) Candidate {
+	return Candidate{Name: name, Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return mk(opts).Run(g, arch)
+	}}
+}
+
+// ILPCandidate is the holistic ILP scheduler under the portfolio's time
+// budget. Cancellation returns its best-so-far schedule (at minimum the
+// warm start), never an error.
+func ILPCandidate() Candidate {
+	return Candidate{Name: "ilp", Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
+		s, _, err := ilpsched.Solve(g, arch, ilpsched.Options{
+			Context:           ctx,
+			Model:             opts.Model,
+			TimeLimit:         opts.ILPTimeLimit,
+			NodeLimit:         opts.ILPNodeLimit,
+			LocalSearchBudget: opts.LocalSearchBudget,
+			Seed:              candidateSeed(opts.Seed, "ilp"),
+		})
+		return s, err
+	}}
+}
+
+// DNCCandidate is the divide-and-conquer ILP scheduler; maxPart ≤ 0
+// selects the dnc default part size.
+func DNCCandidate(maxPart int) Candidate {
+	return Candidate{Name: "dnc-ilp", Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
+		s, _, err := dnc.Solve(g, arch, dnc.Options{
+			Context:           ctx,
+			Model:             opts.Model,
+			MaxPartSize:       maxPart,
+			SubTimeLimit:      opts.ILPTimeLimit,
+			LocalSearchBudget: opts.LocalSearchBudget / 4,
+			Seed:              candidateSeed(opts.Seed, "dnc-ilp"),
+		})
+		return s, err
+	}}
+}

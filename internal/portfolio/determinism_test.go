@@ -1,0 +1,99 @@
+package portfolio
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mbsp/internal/mbsp"
+	"mbsp/internal/workloads"
+)
+
+// deterministicOpts replaces the wall-clock ILP budget with a node limit:
+// tree-size limits bind at the same point on every run, while time limits
+// cut the search wherever the scheduler happened to be.
+func deterministicOpts(workers int) Options {
+	return Options{
+		Model:             mbsp.Sync,
+		Workers:           workers,
+		ILPTimeLimit:      time.Minute,
+		ILPNodeLimit:      200,
+		LocalSearchBudget: 200,
+		Seed:              7,
+	}
+}
+
+// snapshot serializes every candidate schedule plus the winner, capturing
+// the full observable outcome of a run.
+func snapshot(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "best=%s cost=%.9g\n", res.BestName, res.BestCost)
+	for _, c := range res.Candidates {
+		fmt.Fprintf(&buf, "candidate %s cost=%.9g\n", c.Name, c.Cost)
+		if err := mbsp.WriteSchedule(&buf, c.Schedule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPortfolioDeterministicAcrossGOMAXPROCS asserts byte-identical
+// schedules for identical seeds under GOMAXPROCS 1, 2 and 8, and under
+// different worker-pool widths. Run with -race (scripts/verify.sh does).
+func TestPortfolioDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, name := range []string{"spmv_N6", "CG_N2_K2", "k-means"} {
+		inst, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch := baseArch(inst.DAG)
+		var want []byte
+		for _, procs := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(procs)
+			for _, workers := range []int{1, 4} {
+				opts := deterministicOpts(workers)
+				// The DnC candidate's partitioning stage is wall-clock
+				// budgeted (no node-limit knob), so it cannot promise
+				// byte-identical output; every other candidate must.
+				for _, c := range DefaultCandidates(inst.DAG, arch) {
+					if c.Name != "dnc-ilp" {
+						opts.Candidates = append(opts.Candidates, c)
+					}
+				}
+				res, err := Run(context.Background(), inst.DAG, arch, opts)
+				if err != nil {
+					t.Fatalf("%s (GOMAXPROCS=%d workers=%d): %v", name, procs, workers, err)
+				}
+				got := snapshot(t, res)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("%s: schedules differ at GOMAXPROCS=%d workers=%d\nfirst run:\n%s\nthis run:\n%s",
+						name, procs, workers, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateSeedStable pins the per-candidate seed derivation: it must
+// depend only on the portfolio seed and the candidate name, never on
+// position or scheduling order.
+func TestCandidateSeedStable(t *testing.T) {
+	if candidateSeed(1, "ilp") != candidateSeed(1, "ilp") {
+		t.Fatal("candidateSeed not a pure function")
+	}
+	if candidateSeed(1, "ilp") == candidateSeed(1, "cilk+lru") {
+		t.Fatal("different candidates share a seed")
+	}
+	if candidateSeed(1, "ilp") == candidateSeed(2, "ilp") {
+		t.Fatal("portfolio seed ignored")
+	}
+}

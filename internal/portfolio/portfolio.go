@@ -1,0 +1,244 @@
+// Package portfolio races a set of MBSP schedulers ("candidates")
+// concurrently over a bounded worker pool and returns the cheapest valid
+// schedule. The paper evaluates many schedulers — two-stage baselines
+// (BSPg/Cilk/DFS × clairvoyant/LRU), the holistic ILP and its
+// divide-and-conquer variant — with no single winner across workloads
+// and architectures; a portfolio turns that diversity into a strategy:
+// run everything applicable in parallel, validate each result with the
+// model checker, keep the best.
+//
+// The runner introduces no nondeterminism of its own: every candidate
+// derives its seed from the portfolio seed and its name (never from
+// worker identity or completion order), results are collected in
+// candidate order, and ties are broken by that order. Candidates whose
+// budgets bind deterministically (the two-stage pipelines always; the
+// ILP under Options.ILPNodeLimit) therefore produce identical schedules
+// under any GOMAXPROCS or worker count; wall-clock budgets
+// (ILPTimeLimit, the DnC partitioning stage) cut wherever the solver
+// happened to be and are only reproducible on an idle machine.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+)
+
+// Options configures a portfolio run.
+type Options struct {
+	// Model selects the objective used to rank candidates.
+	Model mbsp.CostModel
+	// Workers bounds the number of schedulers running concurrently.
+	// Default GOMAXPROCS (and never more than the candidate count).
+	Workers int
+	// SchedulerTimeout is the per-candidate wall-clock budget; a candidate
+	// that exceeds it is cancelled in place. The ILP candidate then
+	// returns its best-so-far schedule (at minimum the warm start); the
+	// divide-and-conquer candidate returns an error when cut between
+	// parts, because a partial concatenation is never a valid schedule.
+	// Default 30s; negative disables.
+	SchedulerTimeout time.Duration
+	// ILPTimeLimit bounds the branch-and-bound search of ILP-based
+	// candidates. Default 2s.
+	ILPTimeLimit time.Duration
+	// ILPNodeLimit bounds the branch-and-bound tree size. Unlike a
+	// wall-clock limit, a node limit binds deterministically: set it (with
+	// a generous ILPTimeLimit) when reproducible schedules matter more
+	// than squeezing the budget. 0 keeps the ilpsched default.
+	ILPNodeLimit int
+	// LocalSearchBudget bounds the local-search heuristic of ILP-based
+	// candidates. Default 2000.
+	LocalSearchBudget int
+	// Seed drives every randomized candidate; each candidate mixes it
+	// with its name so the portfolio is reproducible end to end.
+	Seed int64
+	// Candidates overrides the scheduler set. Nil selects
+	// DefaultCandidates(g, arch).
+	Candidates []Candidate
+	// Logf receives progress messages.
+	Logf func(format string, args ...interface{})
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SchedulerTimeout == 0 {
+		o.SchedulerTimeout = 30 * time.Second
+	}
+	if o.ILPTimeLimit == 0 {
+		o.ILPTimeLimit = 2 * time.Second
+	}
+	if o.LocalSearchBudget == 0 {
+		o.LocalSearchBudget = 2000
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// CandidateResult reports one scheduler's outcome.
+type CandidateResult struct {
+	Name      string
+	Cost      float64 // under Options.Model; NaN when Err != nil
+	SyncCost  float64
+	AsyncCost float64
+	Elapsed   time.Duration
+	Schedule  *mbsp.Schedule
+	Err       error
+}
+
+// Result is a full portfolio outcome.
+type Result struct {
+	// Best is the cheapest valid schedule; BestName/BestCost identify it.
+	Best     *mbsp.Schedule
+	BestName string
+	BestCost float64
+	// Candidates holds per-scheduler results in candidate order,
+	// independent of completion order.
+	Candidates []CandidateResult
+	// Workers is the effective worker-pool size the run used (after
+	// defaulting and clamping to the candidate count).
+	Workers int
+	// Interrupted records that the parent context was cancelled before
+	// every candidate finished; Best is then the best among those that
+	// did (best-so-far semantics).
+	Interrupted bool
+	Elapsed     time.Duration
+}
+
+// ErrNoSchedule is returned when no candidate produced a valid schedule.
+var ErrNoSchedule = errors.New("portfolio: no candidate produced a valid schedule")
+
+// Run races the candidates over a bounded worker pool and returns the
+// best valid schedule under opts.Model. Every candidate schedule is
+// re-validated with mbsp.Validate before it may win. On context
+// cancellation Run still waits for in-flight candidates (they are
+// cancelled in place, so no goroutine outlives the call) and returns the
+// best schedule completed so far, or ErrNoSchedule joined with the
+// context error if there is none.
+func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults()
+	cands := opts.Candidates
+	if cands == nil {
+		cands = DefaultCandidates(g, arch)
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("portfolio: no candidates")
+	}
+
+	res := &Result{Candidates: make([]CandidateResult, len(cands))}
+	workers := opts.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	res.Workers = workers
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res.Candidates[i] = runCandidate(ctx, g, arch, opts, cands[i])
+			}
+		}()
+	}
+	for i := range cands {
+		// Stop feeding once cancelled; remaining candidates report the
+		// context error without running.
+		if err := ctx.Err(); err != nil {
+			res.Candidates[i] = CandidateResult{Name: cands[i].Name, Cost: math.NaN(), Err: err}
+			continue
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	res.Interrupted = ctx.Err() != nil
+	res.Elapsed = time.Since(start)
+
+	// Deterministic selection: lowest cost, ties broken by candidate
+	// order.
+	best := -1
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Err != nil || c.Schedule == nil {
+			continue
+		}
+		if best < 0 || c.Cost < res.Candidates[best].Cost-1e-12 {
+			best = i
+		}
+	}
+	if best < 0 {
+		err := ErrNoSchedule
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = fmt.Errorf("%w (cancelled: %v)", ErrNoSchedule, ctxErr)
+		}
+		return res, err
+	}
+	b := &res.Candidates[best]
+	res.Best, res.BestName, res.BestCost = b.Schedule, b.Name, b.Cost
+	return res, nil
+}
+
+// runCandidate executes one scheduler under its per-candidate timeout and
+// validates the outcome.
+func runCandidate(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options, c Candidate) CandidateResult {
+	cctx := ctx
+	if opts.SchedulerTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, opts.SchedulerTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	out := CandidateResult{Name: c.Name, Cost: math.NaN()}
+	s, err := c.Run(cctx, g, arch, opts)
+	out.Elapsed = time.Since(start)
+	switch {
+	case err != nil:
+		out.Err = fmt.Errorf("portfolio: %s: %w", c.Name, err)
+	case s == nil:
+		out.Err = fmt.Errorf("portfolio: %s returned no schedule", c.Name)
+	default:
+		if verr := s.Validate(); verr != nil {
+			out.Err = fmt.Errorf("portfolio: %s produced invalid schedule: %w", c.Name, verr)
+			break
+		}
+		out.Schedule = s
+		out.SyncCost = s.SyncCost()
+		out.AsyncCost = s.AsyncCost()
+		out.Cost = s.Cost(opts.Model)
+	}
+	if out.Err != nil {
+		opts.Logf("portfolio: candidate %s failed after %v: %v", c.Name, out.Elapsed, out.Err)
+	} else {
+		opts.Logf("portfolio: candidate %s: cost %g in %v", c.Name, out.Cost, out.Elapsed)
+	}
+	return out
+}
+
+// candidateSeed mixes the portfolio seed with the candidate name, so a
+// candidate's randomness is independent of its position in the set and
+// of scheduling order.
+func candidateSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64()&math.MaxInt64)
+}

@@ -29,6 +29,9 @@ type Options struct {
 	// ExtraSave lists nodes that must be saved to slow memory when
 	// produced (divide-and-conquer boundary values).
 	ExtraSave []int
+	// Cancel stops the search early when closed; the best schedule found
+	// so far is still returned.
+	Cancel <-chan struct{}
 }
 
 // Result reports the outcome.
@@ -112,6 +115,14 @@ func Improve(start *mbsp.Schedule, opts Options) Result {
 	curCost := bestCost
 	stale := 0
 	for res.Evals < opts.Budget && stale < 6*len(movable) {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				res.Schedule, res.Cost = best, bestCost
+				return res
+			default:
+			}
+		}
 		v := movable[rng.Intn(len(movable))]
 		move := rng.Intn(3)
 		trial := append([]int(nil), cur...)

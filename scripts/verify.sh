@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Tier-1 verification plus the perf-trajectory smoke.
+#
+# Usage: scripts/verify.sh [outdir]
+#
+#   1. go build ./...
+#   2. go vet ./...
+#   3. go test -race ./...
+#   4. a short benchmark smoke: the portfolio experiment on the tiny
+#      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
+#      timing per instance) so the portfolio's performance trajectory is
+#      comparable across PRs.
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== bench smoke: BenchmarkPortfolio (1 iteration)"
+go test -run '^$' -bench '^BenchmarkPortfolio$' -benchtime 1x .
+
+echo "== portfolio experiment -> ${outdir}/BENCH_portfolio.json"
+go run ./cmd/mbsp-bench -experiment portfolio -dataset tiny \
+    -timeout 200ms -budget 300 -json "${outdir}/BENCH_portfolio.json"
+
+echo "verify: OK"
