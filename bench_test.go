@@ -16,6 +16,7 @@ import (
 	"mbsp/internal/experiments"
 	"mbsp/internal/graph"
 	"mbsp/internal/ilpsched"
+	"mbsp/internal/lp"
 	model "mbsp/internal/mbsp"
 	"mbsp/internal/partition"
 	"mbsp/internal/portfolio"
@@ -407,6 +408,88 @@ func BenchmarkPortfolio(b *testing.B) {
 		if gm > 1.0 {
 			b.Fatalf("portfolio geomean ratio %g above 1 — best-of-all guarantee broken", gm)
 		}
+	}
+}
+
+// E13 — solver core micro-benchmark: one cold LP solve of a structured
+// assignment-with-side-constraints program, per pricing rule, plus the
+// preserved dense reference. Reports simplex iterations as a metric so
+// pricing regressions surface without timing noise.
+func BenchmarkLPSolve(b *testing.B) {
+	p := benchLP(28, 9)
+	for _, bc := range []struct {
+		name  string
+		solve func() lp.Result
+	}{
+		{"devex", func() lp.Result { return lp.Solve(p, lp.Options{Pricing: lp.PricingDevex}) }},
+		{"dantzig", func() lp.Result { return lp.Solve(p, lp.Options{Pricing: lp.PricingDantzig}) }},
+		{"dense-reference", func() lp.Result { return lp.SolveDense(p, lp.Options{}) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := bc.solve()
+				if res.Status != lp.Optimal {
+					b.Fatalf("status=%v", res.Status)
+				}
+				b.ReportMetric(float64(res.Iters), "simplex-iters")
+			}
+		})
+	}
+}
+
+// benchLP builds an n-task × k-machine assignment relaxation with
+// capacity side constraints — dense enough to make pricing matter,
+// structured like the partitioning/scheduling models.
+func benchLP(n, k int) *lp.Problem {
+	p := lp.NewProblem(n * k)
+	for t := 0; t < n; t++ {
+		var row []lp.Coef
+		for m := 0; m < k; m++ {
+			j := t*k + m
+			p.Ub[j] = 1
+			p.Obj[j] = float64((t*7+m*13)%11 + 1)
+			row = append(row, lp.Coef{Var: j, Val: 1})
+		}
+		p.AddRow(row, lp.EQ, 1)
+	}
+	for m := 0; m < k; m++ {
+		var row []lp.Coef
+		for t := 0; t < n; t++ {
+			row = append(row, lp.Coef{Var: t*k + m, Val: float64((t+m)%3 + 1)})
+		}
+		p.AddRow(row, lp.LE, float64(2*n/k+2))
+	}
+	return p
+}
+
+// E14 — branch-and-bound node throughput on a real partitioning ILP
+// (spmv_N10), warm-started versus the cold-start ablation. The headline
+// metrics are simplex iterations per node and the warm/cold iteration
+// ratio — the quantity BENCH_solver.json tracks across PRs.
+func BenchmarkMIPNode(b *testing.B) {
+	inst, err := workloads.ByName("spmv_N10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		cold bool
+	}{{"warm", false}, {"cold", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var stats partition.SolverStats
+				_, _, _, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
+					TimeLimit: 30 * time.Second, ColdStartLP: bc.cold, Stats: &stats,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.SimplexIters), "simplex-iters")
+				if stats.Nodes > 0 {
+					b.ReportMetric(float64(stats.SimplexIters)/float64(stats.Nodes), "iters/node")
+				}
+			}
+		})
 	}
 }
 

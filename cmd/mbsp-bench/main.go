@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio]
-//	           [-dataset tiny|paper-tiny] [-timeout 2s] [-budget 2000]
-//	           [-workers 0] [-csv out.csv] [-json out.json]
+//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio|solver]
+//	           [-dataset tiny|paper-tiny|paper-small] [-timeout 2s] [-budget 2000]
+//	           [-workers 0] [-incumbent] [-csv out.csv] [-json out.json]
 //
 // The experiment grid (instances × methods) runs concurrently over
 // -workers goroutines (0: GOMAXPROCS) with deterministic, ordered result
@@ -14,8 +14,13 @@
 // sequential runs. The portfolio experiment races every applicable scheduler
 // per instance and reports per-scheduler cost/timing; -json writes its
 // results as JSON (scripts/verify.sh tracks BENCH_portfolio.json across
-// PRs). Budgets default to second-scale runs; raise -timeout and -budget
-// (and use -dataset paper-tiny) for runs closer to the paper's 60-minute
+// PRs). The solver experiment measures the warm-started solver core:
+// total simplex iterations across the branch-and-bound trees the
+// registry workloads search, warm-started versus cold-started, failing
+// if the warm path stops winning or proven-optimal results diverge
+// (scripts/bench.sh tracks BENCH_solver.json). Budgets default to
+// second-scale runs; raise -timeout and -budget (and use -dataset
+// paper-tiny or paper-small) for runs closer to the paper's 60-minute
 // solver budget.
 package main
 
@@ -28,20 +33,22 @@ import (
 	"time"
 
 	"mbsp/internal/experiments"
+	"mbsp/internal/partition"
 	"mbsp/internal/portfolio"
 	"mbsp/internal/workloads"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1, portfolio")
-		dataset = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4/portfolio: tiny or paper-tiny")
-		timeout = flag.Duration("timeout", 2*time.Second, "ILP time limit per instance")
-		budget  = flag.Int("budget", 2000, "local-search evaluation budget")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 1, "concurrent grid cells / portfolio schedulers (0: GOMAXPROCS); default sequential — concurrent solvers share the wall clock, so parallel table numbers are not comparable with sequential runs")
-		csvOut  = flag.String("csv", "", "also write the last table as CSV to this file")
-		jsonOut = flag.String("json", "", "write portfolio experiment results as JSON to this file")
+		exp       = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1, portfolio, solver")
+		dataset   = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4/portfolio/solver: tiny, paper-tiny or paper-small")
+		timeout   = flag.Duration("timeout", 2*time.Second, "ILP time limit per instance")
+		budget    = flag.Int("budget", 2000, "local-search evaluation budget")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 1, "concurrent grid cells / portfolio schedulers (0: GOMAXPROCS); default sequential — concurrent solvers share the wall clock, so parallel table numbers are not comparable with sequential runs")
+		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
+		csvOut    = flag.String("csv", "", "also write the last table as CSV to this file")
+		jsonOut   = flag.String("json", "", "write portfolio/solver experiment results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +64,8 @@ func main() {
 		insts = workloads.Tiny()
 	case "paper-tiny":
 		insts = workloads.PaperTiny()
+	case "paper-small":
+		insts = workloads.PaperSmall()
 	default:
 		fatal(fmt.Errorf("unknown dataset %q", *dataset))
 	}
@@ -98,7 +107,9 @@ func main() {
 	case "p1":
 		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
 	case "portfolio":
-		runPortfolio(insts, cfg, *dataset, *workers, *jsonOut)
+		runPortfolio(insts, cfg, *dataset, *workers, *incumbent, *jsonOut)
+	case "solver":
+		runSolver(insts, *dataset, *timeout, *jsonOut)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -168,7 +179,7 @@ type portfolioCandsJSON struct {
 
 // runPortfolio races the full scheduler portfolio on every instance and
 // reports per-scheduler cost and timing plus the win distribution.
-func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers int, jsonPath string) {
+func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers int, incumbent bool, jsonPath string) {
 	start := time.Now()
 	out := portfolioJSON{
 		Dataset:      dataset,
@@ -180,11 +191,12 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 	for _, inst := range insts {
 		arch := cfg.Arch(inst.DAG)
 		res, err := portfolio.Run(context.Background(), inst.DAG, arch, portfolio.Options{
-			Model:             cfg.Model,
-			Workers:           workers,
-			ILPTimeLimit:      cfg.ILPTimeLimit,
-			LocalSearchBudget: cfg.LocalSearchBudget,
-			Seed:              cfg.Seed,
+			Model:                  cfg.Model,
+			Workers:                workers,
+			ILPTimeLimit:           cfg.ILPTimeLimit,
+			LocalSearchBudget:      cfg.LocalSearchBudget,
+			Seed:                   cfg.Seed,
+			DisableSharedIncumbent: !incumbent,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("portfolio on %s: %w", inst.Name, err))
@@ -223,6 +235,126 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 			fatal(err)
 		}
 		fmt.Println("wrote", jsonPath)
+	}
+}
+
+// solverJSON is the schema of the solver experiment's -json output
+// (scripts/bench.sh tracks BENCH_solver.json across PRs): total simplex
+// iterations across the branch-and-bound trees the dataset's workloads
+// search, with the warm-started dual-simplex path versus the cold-start
+// ablation.
+type solverJSON struct {
+	Dataset        string               `json:"dataset"`
+	WarmIters      int                  `json:"warm_simplex_iters"`
+	ColdIters      int                  `json:"cold_simplex_iters"`
+	SpeedupIters   float64              `json:"iteration_speedup"`
+	WarmSeconds    float64              `json:"warm_seconds"`
+	ColdSeconds    float64              `json:"cold_seconds"`
+	WarmLPs        int                  `json:"warm_lps"`
+	ColdRestartLPs int                  `json:"cold_restart_lps"`
+	Instances      []solverInstanceJSON `json:"instances"`
+}
+
+type solverInstanceJSON struct {
+	Instance  string  `json:"instance"`
+	Nodes     int     `json:"nodes"`
+	WarmIters int     `json:"warm_simplex_iters"`
+	ColdIters int     `json:"cold_simplex_iters"`
+	Ratio     float64 `json:"iteration_ratio"`
+	WarmCut   int     `json:"warm_cut"`
+	ColdCut   int     `json:"cold_cut"`
+	Optimal   bool    `json:"both_proven_optimal"`
+}
+
+// runSolver measures the warm-started solver core on the branch-and-bound
+// trees the dataset's workloads actually search — the DnC partitioning
+// ILPs — and cross-checks the two paths: proven-optimal cut sizes must
+// agree, and the warm path must use fewer total simplex iterations. Any
+// divergence or regression exits nonzero, so scripts/verify.sh can gate
+// on it.
+func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration, jsonPath string) {
+	out := solverJSON{Dataset: dataset}
+	fmt.Println("Solver core: warm-started vs cold-started branch and bound")
+	fmt.Printf("%-20s%6s%12s%12s%8s%10s\n", "Instance", "n", "warm-iters", "cold-iters", "ratio", "cut w/c")
+	diverged := false
+	// The regression gate only compares instances both paths solved to
+	// proven optimality: a TimeLimit-truncated run reports a truncated
+	// iteration count for a different tree, which would make the
+	// comparison meaningless either way.
+	gateWarm, gateCold := 0, 0
+	for _, inst := range insts {
+		if inst.DAG.N() < portfolio.DNCMinNodes {
+			continue // below the portfolio's DnC gate; no partitioning tree
+		}
+		var warmStats, coldStats partition.SolverStats
+		warmStart := time.Now()
+		_, warmCut, warmOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
+			TimeLimit: timeout, Stats: &warmStats,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("solver experiment on %s (warm): %w", inst.Name, err))
+		}
+		out.WarmSeconds += time.Since(warmStart).Seconds()
+		coldStart := time.Now()
+		_, coldCut, coldOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
+			TimeLimit: timeout, ColdStartLP: true, Stats: &coldStats,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("solver experiment on %s (cold): %w", inst.Name, err))
+		}
+		out.ColdSeconds += time.Since(coldStart).Seconds()
+		entry := solverInstanceJSON{
+			Instance: inst.Name, Nodes: inst.DAG.N(),
+			WarmIters: warmStats.SimplexIters, ColdIters: coldStats.SimplexIters,
+			WarmCut: warmCut, ColdCut: coldCut, Optimal: warmOpt && coldOpt,
+		}
+		if entry.WarmIters > 0 {
+			entry.Ratio = float64(entry.ColdIters) / float64(entry.WarmIters)
+		}
+		out.WarmIters += entry.WarmIters
+		out.ColdIters += entry.ColdIters
+		out.WarmLPs += warmStats.WarmLPs
+		out.ColdRestartLPs += warmStats.ColdLPs
+		if entry.Optimal {
+			gateWarm += entry.WarmIters
+			gateCold += entry.ColdIters
+		}
+		out.Instances = append(out.Instances, entry)
+		fmt.Printf("%-20s%6d%12d%12d%8.2f%7d/%d\n",
+			inst.Name, entry.Nodes, entry.WarmIters, entry.ColdIters, entry.Ratio, warmCut, coldCut)
+		if warmOpt && coldOpt && warmCut != coldCut {
+			fmt.Printf("  DIVERGENCE: both proven optimal but cuts differ (%d vs %d)\n", warmCut, coldCut)
+			diverged = true
+		}
+	}
+	if len(out.Instances) == 0 {
+		fatal(fmt.Errorf("solver experiment: dataset %q has no partitionable instances", dataset))
+	}
+	if out.WarmIters > 0 {
+		out.SpeedupIters = float64(out.ColdIters) / float64(out.WarmIters)
+	}
+	fmt.Printf("total: warm=%d cold=%d simplex iterations (%.2fx fewer), warm %.2fs vs cold %.2fs\n",
+		out.WarmIters, out.ColdIters, out.SpeedupIters, out.WarmSeconds, out.ColdSeconds)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if diverged {
+		fatal(fmt.Errorf("solver experiment: warm/cold divergence on proven-optimal instances"))
+	}
+	if gateCold > 0 && gateWarm >= gateCold {
+		fatal(fmt.Errorf("solver experiment: warm path used %d iterations vs %d cold on proven-optimal instances — warm start regressed",
+			gateWarm, gateCold))
 	}
 }
 

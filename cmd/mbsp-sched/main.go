@@ -5,13 +5,16 @@
 //
 //	mbsp-sched -dag file.dag | -instance spmv_N6
 //	           [-method base|cilk|ilp|dnc|exact]
-//	           [-portfolio] [-workers 0]
+//	           [-portfolio] [-workers 0] [-incumbent] [-solver-stats]
 //	           [-p 4] [-rfactor 3] [-r 0] [-g 1] [-l 10]
 //	           [-model sync|async] [-timeout 5s] [-print]
 //
 // With -portfolio, every applicable scheduler races concurrently over a
 // bounded worker pool and the cheapest valid schedule wins; -method is
-// then ignored. The DAG comes either from a text file (see
+// then ignored. -incumbent (default on) shares a portfolio-wide bound so
+// losing candidates cut off early; -solver-stats prints the solver-core
+// counters (simplex iterations, warm vs cold LP re-solves) for the
+// ILP-based methods. The DAG comes either from a text file (see
 // internal/graph format) or from a named benchmark instance.
 package main
 
@@ -27,20 +30,22 @@ import (
 
 func main() {
 	var (
-		dagFile  = flag.String("dag", "", "DAG file in the text format")
-		instance = flag.String("instance", "", "named benchmark instance (e.g. spmv_N6)")
-		method   = flag.String("method", "ilp", "scheduler: base, cilk, ilp, dnc, exact")
-		p        = flag.Int("p", 4, "number of processors")
-		rfactor  = flag.Float64("rfactor", 3, "fast memory capacity as a multiple of r0")
-		rabs     = flag.Float64("r", 0, "absolute fast memory capacity (overrides -rfactor)")
-		gcost    = flag.Float64("g", 1, "communication cost per memory unit")
-		lcost    = flag.Float64("l", 10, "synchronization cost per superstep")
-		model    = flag.String("model", "sync", "cost model: sync or async")
-		timeout  = flag.Duration("timeout", 5*time.Second, "solver time limit")
-		print    = flag.Bool("print", false, "print the full schedule")
-		seed     = flag.Int64("seed", 1, "random seed for heuristics")
-		pfolio   = flag.Bool("portfolio", false, "race all applicable schedulers concurrently and keep the best")
-		workers  = flag.Int("workers", 0, "portfolio worker pool size (0: GOMAXPROCS)")
+		dagFile   = flag.String("dag", "", "DAG file in the text format")
+		instance  = flag.String("instance", "", "named benchmark instance (e.g. spmv_N6)")
+		method    = flag.String("method", "ilp", "scheduler: base, cilk, ilp, dnc, exact")
+		p         = flag.Int("p", 4, "number of processors")
+		rfactor   = flag.Float64("rfactor", 3, "fast memory capacity as a multiple of r0")
+		rabs      = flag.Float64("r", 0, "absolute fast memory capacity (overrides -rfactor)")
+		gcost     = flag.Float64("g", 1, "communication cost per memory unit")
+		lcost     = flag.Float64("l", 10, "synchronization cost per superstep")
+		model     = flag.String("model", "sync", "cost model: sync or async")
+		timeout   = flag.Duration("timeout", 5*time.Second, "solver time limit")
+		print     = flag.Bool("print", false, "print the full schedule")
+		seed      = flag.Int64("seed", 1, "random seed for heuristics")
+		pfolio    = flag.Bool("portfolio", false, "race all applicable schedulers concurrently and keep the best")
+		workers   = flag.Int("workers", 0, "portfolio worker pool size (0: GOMAXPROCS)")
+		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
+		solvStats = flag.Bool("solver-stats", false, "print solver-core counters (simplex iterations, warm/cold LP re-solves) for ILP-based methods")
 	)
 	flag.Parse()
 
@@ -63,10 +68,11 @@ func main() {
 	var s *mbsp.Schedule
 	if *pfolio {
 		res, perr := mbsp.SchedulePortfolio(context.Background(), g, arch, mbsp.PortfolioOptions{
-			Model:        costModel,
-			Workers:      *workers,
-			ILPTimeLimit: *timeout,
-			Seed:         *seed,
+			Model:                  costModel,
+			Workers:                *workers,
+			ILPTimeLimit:           *timeout,
+			Seed:                   *seed,
+			DisableSharedIncumbent: !*incumbent,
 		})
 		if perr != nil {
 			fatal(perr)
@@ -87,7 +93,7 @@ func main() {
 		}
 		s = res.Best
 	} else {
-		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed)
+		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed, *solvStats)
 		if err != nil {
 			fatal(err)
 		}
@@ -105,7 +111,7 @@ func main() {
 	}
 }
 
-func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64) (*mbsp.Schedule, error) {
+func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64, solvStats bool) (*mbsp.Schedule, error) {
 	var s *mbsp.Schedule
 	var err error
 	switch method {
@@ -122,6 +128,10 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
 				stats.ModelVars, stats.ModelRows, stats.ILPStatus, stats.ILPNodes,
 				stats.WarmCost, stats.FinalCost, stats.Source)
+			if solvStats {
+				fmt.Printf("solver: simplex-iters=%d lp-resolves warm=%d cold=%d\n",
+					stats.SimplexIters, stats.WarmLPs, stats.ColdLPs)
+			}
 		}
 	case "dnc":
 		var stats mbsp.DNCStats
@@ -131,6 +141,15 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 		if err == nil {
 			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",
 				stats.Parts, stats.CutEdges, stats.StreamlineWin)
+			if solvStats {
+				warm, cold := stats.PartitionSolver.WarmLPs, stats.PartitionSolver.ColdLPs
+				for _, st := range stats.SubILPStats {
+					warm += st.WarmLPs
+					cold += st.ColdLPs
+				}
+				fmt.Printf("solver: simplex-iters=%d (partition %d) lp-resolves warm=%d cold=%d\n",
+					stats.SimplexIters, stats.PartitionSolver.SimplexIters, warm, cold)
+			}
 		}
 	case "exact":
 		var res mbsp.ExactResult

@@ -23,6 +23,7 @@ package dnc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"mbsp/internal/ilpsched"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/memmgr"
+	"mbsp/internal/mip"
 	"mbsp/internal/partition"
 	"mbsp/internal/twostage"
 )
@@ -48,14 +50,36 @@ type Options struct {
 	// SubTimeLimit bounds each sub-ILP solve (the paper uses 30 minutes
 	// per subproblem with a commercial solver). Default 3s.
 	SubTimeLimit time.Duration
-	// PartitionTimeLimit bounds each bipartition ILP. Default 2s.
+	// SubNodeLimit bounds each sub-ILP's branch-and-bound tree. Node
+	// limits bind deterministically where wall-clock limits do not; set
+	// both SubNodeLimit and PartitionNodeLimit (with generous time
+	// limits) for byte-identical divide-and-conquer schedules. 0 keeps
+	// the ilpsched default.
+	SubNodeLimit int
+	// PartitionTimeLimit bounds each bipartition ILP. Default 2s, or a
+	// generous 1 minute when PartitionNodeLimit is set (so the node
+	// limit, not the clock, is what binds).
 	PartitionTimeLimit time.Duration
+	// PartitionNodeLimit bounds each bipartition ILP's tree size — the
+	// node-limit knob that lets the partitioning stage join the
+	// byte-identical determinism guarantee. 0 keeps the partition
+	// default (wall-clock budgeted only).
+	PartitionNodeLimit int
 	// GreedyPartition switches to the heuristic partitioner (ablation).
 	GreedyPartition bool
 	// LocalSearchBudget for each sub-ILP's primal heuristic.
 	LocalSearchBudget int
-	Seed              int64
-	Logf              func(format string, args ...interface{})
+	// Incumbent, when non-nil, is the portfolio-wide shared bound on the
+	// full-schedule cost under Model. Subschedule costs are additive
+	// across parts, so once the concatenated prefix alone reaches the
+	// bound the run cannot win and Solve returns ErrIncumbentCutoff.
+	// (Streamlining can recover a little cost afterwards, so the cutoff
+	// is a heuristic: it may abandon a run that would have finished
+	// within a streamline-win of the bound — acceptable for a portfolio
+	// candidate whose result would at best tie.)
+	Incumbent *mip.Incumbent
+	Seed      int64
+	Logf      func(format string, args ...interface{})
 }
 
 func (o Options) withDefaults() Options {
@@ -66,7 +90,11 @@ func (o Options) withDefaults() Options {
 		o.SubTimeLimit = 3 * time.Second
 	}
 	if o.PartitionTimeLimit == 0 {
-		o.PartitionTimeLimit = 2 * time.Second
+		if o.PartitionNodeLimit > 0 {
+			o.PartitionTimeLimit = time.Minute
+		} else {
+			o.PartitionTimeLimit = 2 * time.Second
+		}
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
@@ -74,13 +102,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ErrIncumbentCutoff reports that a divide-and-conquer run stopped early
+// because the schedule prefix already cost at least the shared incumbent
+// bound: the concatenation could not have beaten the portfolio's best.
+var ErrIncumbentCutoff = errors.New("dnc: cut off by shared incumbent bound")
+
 // Stats reports what the divide-and-conquer run did.
 type Stats struct {
-	Parts         int
-	CutEdges      int
-	SubILPStats   []ilpsched.Stats
-	FinalCost     float64
-	StreamlineWin float64 // cost reduction achieved by streamlining
+	Parts       int
+	CutEdges    int
+	SubILPStats []ilpsched.Stats
+	// PartitionSolver holds the branch-and-bound counters of the
+	// partitioning-stage bipartition ILPs; SimplexIters is the total
+	// across those trees plus every sub-ILP tree.
+	PartitionSolver partition.SolverStats
+	SimplexIters    int
+	FinalCost       float64
+	StreamlineWin   float64 // cost reduction achieved by streamlining
 }
 
 // Solve schedules g on arch with the divide-and-conquer ILP method.
@@ -95,18 +133,30 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		MaxPartSize: opts.MaxPartSize,
 		UseILP:      !opts.GreedyPartition,
 		TimeLimit:   opts.PartitionTimeLimit,
+		NodeLimit:   opts.PartitionNodeLimit,
 	})
 	if err != nil {
 		return nil, stats, fmt.Errorf("dnc: partitioning: %w", err)
 	}
 	stats.Parts = pres.K
 	stats.CutEdges = pres.CutEdges
+	stats.PartitionSolver = pres.Solver
+	stats.SimplexIters += pres.Solver.SimplexIters
 	parts := partition.Parts(pres.Part, pres.K)
 
 	out := mbsp.NewSchedule(g, arch)
 	for k, nodes := range parts {
 		if opts.Context != nil && opts.Context.Err() != nil {
 			return nil, stats, fmt.Errorf("dnc: cancelled before part %d: %w", k, opts.Context.Err())
+		}
+		// Early cutoff: superstep costs are additive under concatenation,
+		// so a prefix that already reaches the portfolio-wide bound
+		// cannot produce a winning schedule.
+		if k > 0 && opts.Incumbent != nil {
+			if partial := out.Cost(opts.Model); partial >= opts.Incumbent.Get() {
+				return nil, stats, fmt.Errorf("%w: prefix cost %g after %d/%d parts (bound %g)",
+					ErrIncumbentCutoff, partial, k, len(parts), opts.Incumbent.Get())
+			}
 		}
 		sub, schedErr := schedulePart(g, arch, opts, pres.Part, k, nodes, &stats)
 		if schedErr != nil {
@@ -220,6 +270,7 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 		WarmStart:         warm,
 		NeedBlue:          needBlue,
 		TimeLimit:         opts.SubTimeLimit,
+		NodeLimit:         opts.SubNodeLimit,
 		LocalSearchBudget: opts.LocalSearchBudget,
 		Seed:              opts.Seed + int64(k),
 		Logf:              opts.Logf,
@@ -228,6 +279,7 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 		return nil, err
 	}
 	stats.SubILPStats = append(stats.SubILPStats, subStats)
+	stats.SimplexIters += subStats.SimplexIters
 
 	// Translate to global ids.
 	glob := mbsp.NewSchedule(g, arch)

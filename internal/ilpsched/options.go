@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mbsp/internal/mbsp"
+	"mbsp/internal/mip"
 )
 
 // Options configures the ILP scheduler.
@@ -71,9 +72,23 @@ type Options struct {
 	// nil, Solve builds the BSPg+clairvoyant baseline itself (DFS for
 	// P=1).
 	WarmStart *mbsp.Schedule
+	// Incumbent, when non-nil, is a shared upper bound on the schedule
+	// cost under Model (the portfolio-wide incumbent): Solve reads it to
+	// prune the branch-and-bound tree and publishes every validated
+	// improving schedule cost back to it. Costs are only comparable
+	// across solvers of the same instance and model; the caller owns
+	// that invariant.
+	Incumbent *mip.Incumbent
 	// Boundary conditions for divide-and-conquer subproblems.
 	InitialRed [][]int // per processor, nodes red at step 0
 	NeedBlue   []int   // nodes (besides sinks) that must be blue at the end
+	// LPColdStart disables the warm-started dual re-solves inside the
+	// branch-and-bound tree (every node cold-starts); LPReference
+	// additionally routes each relaxation through the preserved dense
+	// reference solver. Both exist for the cross-check tests and the
+	// solver ablation benchmarks.
+	LPColdStart bool
+	LPReference bool
 	// Logf receives progress messages.
 	Logf func(format string, args ...interface{})
 	// Seed drives the local-search heuristic.
@@ -104,17 +119,22 @@ func (o Options) withDefaults() Options {
 
 // Stats reports what the solver did.
 type Stats struct {
-	ModelVars   int
-	ModelRows   int
-	Steps       int
-	UsedILP     bool
-	ILPStatus   string
-	ILPNodes    int
-	ILPLPs      int
-	LocalMoves  int
-	WarmCost    float64
-	FinalCost   float64
-	Source      string // "ilp", "local-search", or "warm-start"
-	SolveTime   time.Duration
-	ProvedBound float64
+	ModelVars int
+	ModelRows int
+	Steps     int
+	UsedILP   bool
+	ILPStatus string
+	ILPNodes  int
+	ILPLPs    int
+	// SimplexIters is the total simplex iteration count across the
+	// branch-and-bound tree; WarmLPs/ColdLPs split the node relaxations
+	// into dual re-solves from the parent basis and cold starts.
+	SimplexIters     int
+	WarmLPs, ColdLPs int
+	LocalMoves       int
+	WarmCost         float64
+	FinalCost        float64
+	Source           string // "ilp", "local-search", "exact-pebbler", or "warm-start"
+	SolveTime        time.Duration
+	ProvedBound      float64
 }

@@ -46,6 +46,9 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 	bestCost := warm.Cost(opts.Model)
 	stats.WarmCost = bestCost
 	stats.Source = "warm-start"
+	// Publish the baseline cost to the portfolio-wide incumbent: any
+	// concurrent solver that cannot beat it may cut off immediately.
+	opts.Incumbent.Offer(bestCost)
 
 	// Build the ILP sized by the warm start plus slack.
 	skel, err := buildSkeleton(warm, opts.InitialRed)
@@ -72,15 +75,32 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		}
 		stats.UsedILP = true
 		res := im.m.Solve(mip.Options{
-			TimeLimit: opts.TimeLimit,
-			NodeLimit: opts.NodeLimit,
-			WarmStart: x,
-			Logf:      opts.Logf,
-			Cancel:    done,
+			TimeLimit:       opts.TimeLimit,
+			NodeLimit:       opts.NodeLimit,
+			WarmStart:       x,
+			Logf:            opts.Logf,
+			Cancel:          done,
+			ColdStart:       opts.LPColdStart,
+			ReferenceLP:     opts.LPReference,
+			SharedIncumbent: opts.Incumbent,
+			// Publish improving tree-search incumbents mid-search, but
+			// only after extraction and validation: the shared bound must
+			// carry real schedule costs, never raw model objectives.
+			OnIncumbent: func(x []float64, obj float64) {
+				if opts.Incumbent == nil {
+					return
+				}
+				if sched, err := im.extract(x); err == nil && sched.Validate() == nil {
+					opts.Incumbent.Offer(sched.Cost(opts.Model))
+				}
+			},
 		})
 		stats.ILPStatus = res.Status.String()
 		stats.ILPNodes = res.Nodes
 		stats.ILPLPs = res.LPs
+		stats.SimplexIters = res.SimplexIters
+		stats.WarmLPs = res.WarmLPs
+		stats.ColdLPs = res.ColdLPs
 		stats.ProvedBound = res.Bound
 		if res.X != nil {
 			if sched, err := im.extract(res.X); err == nil {
@@ -141,5 +161,6 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 	if err := best.Validate(); err != nil {
 		return nil, stats, fmt.Errorf("ilpsched: final schedule invalid: %w", err)
 	}
+	opts.Incumbent.Offer(bestCost)
 	return best, stats, nil
 }

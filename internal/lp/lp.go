@@ -1,12 +1,24 @@
 // Package lp implements a linear-programming solver: a bounded-variable
-// primal simplex method with a phase-1 artificial start, dense explicit
-// basis inverse with product-form updates, Dantzig pricing and a Bland
-// anti-cycling fallback.
+// simplex method over sparse column-major (CSC) constraint storage with
+// Devex (approximate steepest-edge) pricing, a Dantzig/Bland fallback,
+// and periodic basis refactorization.
 //
-// It is the search engine underneath the MILP branch-and-bound in package
-// mip, standing in for the commercial solver used in the paper (see
-// DESIGN.md for the substitution note). Only the Go standard library is
-// used.
+// Two entry points serve the MILP branch-and-bound in package mip:
+//
+//   - Solve (or Instance.Solve) runs the cold primal simplex with a
+//     phase-1 artificial start and returns, along with the optimum, an
+//     opaque Basis snapshot;
+//   - Instance.SolveFrom reoptimizes from a supplied Basis after bound
+//     changes with the bounded-variable dual simplex — the hot path of
+//     branch-and-bound, where a child node differs from its parent by a
+//     single variable bound and typically re-solves in a handful of
+//     iterations instead of a full cold start.
+//
+// Prepare assembles the sparse matrix once so that branch-and-bound can
+// re-solve thousands of bound variations without re-reading the rows. The
+// original dense-inverse solver is preserved as SolveDense and serves as
+// the cross-check reference and ablation baseline. Only the Go standard
+// library is used.
 package lp
 
 import (
@@ -102,8 +114,30 @@ type Result struct {
 	Status Status
 	Obj    float64
 	X      []float64 // length NumVars, valid for Optimal (and best-effort for IterLimit)
-	Iters  int
+	Iters  int       // simplex iterations (primal + dual)
+	// Basis is an opaque snapshot of the optimal basis, suitable for
+	// SolveFrom. Nil unless Status == Optimal, and nil in the rare case
+	// where the final basis cannot be expressed without artificial
+	// columns (a redundant row whose artificial could not be swapped for
+	// the row's slack).
+	Basis *Basis
+	// ColdRestart records that a SolveFrom call could not reuse the
+	// supplied basis (singular after bound changes, or the dual simplex
+	// stalled) and fell back to a cold solve.
+	ColdRestart bool
 }
+
+// Pricing selects the primal pricing rule.
+type Pricing int8
+
+const (
+	// PricingDevex is the default: approximate steepest-edge reference
+	// weights, falling back to Bland's rule under prolonged degeneracy.
+	PricingDevex Pricing = iota
+	// PricingDantzig selects the classical most-negative-reduced-cost
+	// rule (the dense reference solver's rule); kept for ablations.
+	PricingDantzig
+)
 
 // Options tunes the solver. Zero values select defaults.
 type Options struct {
@@ -111,9 +145,15 @@ type Options struct {
 	Eps      float64         // feasibility/optimality tolerance, default 1e-7
 	Deadline time.Time       // abort with IterLimit when exceeded (checked periodically)
 	Cancel   <-chan struct{} // abort with IterLimit when closed (checked periodically)
+	// Pricing selects the primal pricing rule (default Devex).
+	Pricing Pricing
+	// RefactorEvery rebuilds the basis inverse from scratch after this
+	// many pivots to bound numerical drift (default 128).
+	RefactorEvery int
 }
 
 const defaultEps = 1e-7
+const defaultRefactorEvery = 128
 
 // variable status markers
 type vstat int8
@@ -124,180 +164,38 @@ const (
 	basic
 )
 
-type simplex struct {
-	m, n  int // rows, total columns (structural + slack + artificial)
-	nOrig int
-	cols  [][]Coef // column-wise matrix rows entries
-	obj   []float64
-	lb    []float64
-	ub    []float64
-	b     []float64
-
-	binv     [][]float64 // m×m basis inverse
-	basis    []int       // basic variable per row
-	stat     []vstat
-	x        []float64
-	eps      float64
-	deadline time.Time
-	cancel   <-chan struct{}
+// Basis is an opaque snapshot of a simplex basis: which variable is basic
+// in each row and the bound status of every structural and slack column.
+// It is returned by optimal solves and accepted by Instance.SolveFrom,
+// which reconstructs the basis inverse by refactorization (or reuses the
+// live factorization when the snapshot is the instance's most recent
+// one). A Basis is immutable and safe to share across goroutines.
+type Basis struct {
+	basic []int32 // length m: variable basic in each row (structural or slack)
+	stat  []vstat // length n+m: status per column
 }
 
-// Solve minimizes the problem.
+// clone returns an independent copy (Basis handed to callers must not
+// alias solver workspace).
+func (b *Basis) clone() *Basis {
+	return &Basis{
+		basic: append([]int32(nil), b.basic...),
+		stat:  append([]vstat(nil), b.stat...),
+	}
+}
+
+// Solve minimizes the problem with the sparse solver. It is shorthand for
+// Prepare(p).Solve(p.Lb, p.Ub, opts); callers that re-solve the same rows
+// under varying bounds should Prepare once and reuse the Instance.
 func Solve(p *Problem, opts Options) Result {
-	if opts.Eps == 0 {
-		opts.Eps = defaultEps
-	}
-	m := len(p.Rows)
-	n := p.NumVars()
-	if opts.MaxIters == 0 {
-		opts.MaxIters = 50*(m+n) + 1000
-	}
-	s := &simplex{m: m, nOrig: n, eps: opts.Eps, deadline: opts.Deadline, cancel: opts.Cancel}
-
-	// Assemble columns: structural, then one slack per row, then
-	// artificials added on demand.
-	total := n + m
-	s.cols = make([][]Coef, total, total+m)
-	s.obj = make([]float64, total, total+m)
-	s.lb = make([]float64, total, total+m)
-	s.ub = make([]float64, total, total+m)
-	copy(s.obj, p.Obj)
-	copy(s.lb, p.Lb)
-	copy(s.ub, p.Ub)
-	for j := 0; j < n; j++ {
-		if s.lb[j] > s.ub[j]+opts.Eps {
-			return Result{Status: Infeasible}
-		}
-	}
-	s.b = make([]float64, m)
-	for i, row := range p.Rows {
-		s.b[i] = row.RHS
-		for _, c := range row.Coefs {
-			if c.Val == 0 {
-				continue
-			}
-			s.cols[c.Var] = append(s.cols[c.Var], Coef{Var: i, Val: c.Val})
-		}
-		sj := n + i
-		s.cols[sj] = []Coef{{Var: i, Val: 1}}
-		switch row.Sense {
-		case LE:
-			s.lb[sj], s.ub[sj] = 0, Inf
-		case GE:
-			s.lb[sj], s.ub[sj] = math.Inf(-1), 0
-		case EQ:
-			s.lb[sj], s.ub[sj] = 0, 0
-		}
-	}
-	s.n = total
-
-	// Nonbasic start: every column at its bound nearest zero (0 for free
-	// variables).
-	s.stat = make([]vstat, s.n, s.n+m)
-	s.x = make([]float64, s.n, s.n+m)
-	for j := 0; j < s.n; j++ {
-		s.x[j] = s.startValue(j)
-		if s.x[j] == s.ub[j] && !math.IsInf(s.ub[j], 1) && s.x[j] != s.lb[j] {
-			s.stat[j] = atUpper
-		} else {
-			s.stat[j] = atLower
-		}
-	}
-
-	// Residuals r = b − A·x determine which rows need an artificial.
-	r := make([]float64, m)
-	copy(r, s.b)
-	for j := 0; j < s.n; j++ {
-		if s.x[j] != 0 {
-			for _, c := range s.cols[j] {
-				r[c.Var] -= c.Val * s.x[j]
-			}
-		}
-	}
-	s.basis = make([]int, m)
-	s.binv = make([][]float64, m)
-	needPhase1 := false
-	for i := 0; i < m; i++ {
-		s.binv[i] = make([]float64, m)
-		sj := n + i
-		// Try absorbing the residual into the slack.
-		v := s.x[sj] + r[i]
-		if v >= s.lb[sj]-opts.Eps && v <= s.ub[sj]+opts.Eps {
-			s.x[sj] = clamp(v, s.lb[sj], s.ub[sj])
-			s.basis[i] = sj
-			s.stat[sj] = basic
-			s.binv[i][i] = 1
-			continue
-		}
-		// Artificial column with sign matching the residual.
-		resid := r[i] - (s.x[sj] - s.startValue(sj)) // residual with slack at start value
-		s.x[sj] = s.startValue(sj)
-		sign := 1.0
-		if resid < 0 {
-			sign = -1
-		}
-		aj := s.n
-		s.cols = append(s.cols, []Coef{{Var: i, Val: sign}})
-		s.obj = append(s.obj, 0)
-		s.lb = append(s.lb, 0)
-		s.ub = append(s.ub, Inf)
-		s.stat = append(s.stat, basic)
-		s.x = append(s.x, math.Abs(resid))
-		s.n++
-		s.basis[i] = aj
-		s.binv[i][i] = sign
-		needPhase1 = true
-	}
-
-	iters := 0
-	if needPhase1 {
-		// Phase 1: minimize sum of artificials.
-		c1 := make([]float64, s.n)
-		for j := total; j < s.n; j++ {
-			c1[j] = 1
-		}
-		st, it := s.iterate(c1, opts.MaxIters)
-		iters += it
-		if st == IterLimit {
-			return Result{Status: IterLimit, Iters: iters}
-		}
-		sum := 0.0
-		for j := total; j < s.n; j++ {
-			sum += s.x[j]
-		}
-		if sum > 1e-6 {
-			return Result{Status: Infeasible, Iters: iters}
-		}
-		// Freeze artificials at zero for phase 2.
-		for j := total; j < s.n; j++ {
-			s.ub[j] = 0
-			s.x[j] = 0
-		}
-	}
-
-	c2 := make([]float64, s.n)
-	copy(c2, s.obj)
-	st, it := s.iterate(c2, opts.MaxIters-iters)
-	iters += it
-	res := Result{Status: st, Iters: iters}
-	res.X = make([]float64, n)
-	copy(res.X, s.x[:n])
-	for j := 0; j < n; j++ {
-		res.Obj += p.Obj[j] * res.X[j]
-	}
-	return res
+	return Prepare(p).Solve(p.Lb, p.Ub, opts)
 }
 
-func (s *simplex) startValue(j int) float64 {
-	l, u := s.lb[j], s.ub[j]
+// startValue places a nonbasic column at the bound nearest zero (0 for
+// free variables).
+func startValue(l, u float64) float64 {
 	switch {
 	case l <= 0 && u >= 0:
-		if math.IsInf(l, -1) && math.IsInf(u, 1) {
-			return 0
-		}
-		if l == 0 || u == 0 {
-			return 0
-		}
 		return 0
 	case l > 0:
 		return l
@@ -314,182 +212,4 @@ func clamp(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
-}
-
-// iterate runs primal simplex iterations for objective c until optimal,
-// unbounded or the iteration budget runs out.
-func (s *simplex) iterate(c []float64, maxIters int) (Status, int) {
-	if maxIters <= 0 {
-		return IterLimit, 0
-	}
-	m := s.m
-	y := make([]float64, m)
-	w := make([]float64, m)
-	degenerate := 0
-	useBland := false
-	checkDeadline := !s.deadline.IsZero()
-	for it := 0; it < maxIters; it++ {
-		if it%64 == 0 {
-			if checkDeadline && time.Now().After(s.deadline) {
-				return IterLimit, it
-			}
-			if s.cancel != nil {
-				select {
-				case <-s.cancel:
-					return IterLimit, it
-				default:
-				}
-			}
-		}
-		// Duals y = c_B · B⁻¹.
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := c[s.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
-		// Pricing.
-		enter := -1
-		bestViol := s.eps
-		var dir float64 // +1 entering increases, −1 decreases
-		for j := 0; j < s.n; j++ {
-			if s.stat[j] == basic {
-				continue
-			}
-			if s.lb[j] == s.ub[j] {
-				continue // fixed
-			}
-			d := c[j]
-			for _, cf := range s.cols[j] {
-				d -= y[cf.Var] * cf.Val
-			}
-			var viol float64
-			var dd float64
-			switch {
-			case s.stat[j] == atLower && d < -s.eps:
-				viol, dd = -d, 1
-			case s.stat[j] == atLower && d > s.eps && math.IsInf(s.lb[j], -1):
-				// Free variable parked at 0 can also decrease.
-				viol, dd = d, -1
-			case s.stat[j] == atUpper && d > s.eps:
-				viol, dd = d, -1
-			default:
-				continue
-			}
-			if useBland {
-				enter, dir = j, dd
-				break
-			}
-			if viol > bestViol {
-				bestViol, enter, dir = viol, j, dd
-			}
-		}
-		if enter < 0 {
-			return Optimal, it
-		}
-		// Direction w = B⁻¹ A_enter.
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for _, cf := range s.cols[enter] {
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i][cf.Var] * cf.Val
-			}
-		}
-		// Ratio test: entering moves by t·dir ≥ 0; basic i changes by
-		// −dir·t·w[i].
-		tMax := s.ub[enter] - s.lb[enter] // bound flip distance
-		leave := -1
-		leaveToUpper := false
-		for i := 0; i < m; i++ {
-			delta := -dir * w[i]
-			if delta > s.eps { // basic increases toward ub
-				bi := s.basis[i]
-				if !math.IsInf(s.ub[bi], 1) {
-					t := (s.ub[bi] - s.x[bi]) / delta
-					if t < tMax-1e-12 {
-						tMax, leave, leaveToUpper = t, i, true
-					}
-				}
-			} else if delta < -s.eps { // basic decreases toward lb
-				bi := s.basis[i]
-				if !math.IsInf(s.lb[bi], -1) {
-					t := (s.lb[bi] - s.x[bi]) / delta
-					if t < tMax-1e-12 {
-						tMax, leave, leaveToUpper = t, i, false
-					}
-				}
-			}
-		}
-		if math.IsInf(tMax, 1) {
-			return Unbounded, it
-		}
-		if tMax < 0 {
-			tMax = 0
-		}
-		if tMax < 1e-12 {
-			degenerate++
-			if degenerate > 3*m+50 {
-				useBland = true
-			}
-		} else {
-			degenerate = 0
-		}
-		// Apply step.
-		s.x[enter] += dir * tMax
-		for i := 0; i < m; i++ {
-			s.x[s.basis[i]] -= dir * tMax * w[i]
-		}
-		if leave < 0 {
-			// Bound flip: entering just switches bound.
-			if dir > 0 {
-				s.stat[enter] = atUpper
-				s.x[enter] = s.ub[enter]
-			} else {
-				s.stat[enter] = atLower
-				s.x[enter] = s.lb[enter]
-			}
-			continue
-		}
-		// Basis change: leave row `leave`, variable s.basis[leave] goes
-		// to a bound, enter becomes basic.
-		lv := s.basis[leave]
-		if leaveToUpper {
-			s.stat[lv] = atUpper
-			s.x[lv] = s.ub[lv]
-		} else {
-			s.stat[lv] = atLower
-			s.x[lv] = s.lb[lv]
-		}
-		s.stat[enter] = basic
-		s.basis[leave] = enter
-		// Pivot B⁻¹: eliminate w in all rows except `leave`.
-		piv := w[leave]
-		if math.Abs(piv) < 1e-12 {
-			return IterLimit, it // numerically stuck
-		}
-		rowL := s.binv[leave]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			rowL[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leave || w[i] == 0 {
-				continue
-			}
-			f := w[i]
-			ri := s.binv[i]
-			for k := 0; k < m; k++ {
-				ri[k] -= f * rowL[k]
-			}
-		}
-	}
-	return IterLimit, maxIters
 }

@@ -1,0 +1,977 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// Instance is a prepared LP: the rows assembled once into sparse
+// column-major (CSC) storage, with bounds supplied per solve. It is the
+// re-solve engine of branch-and-bound, where thousands of bound
+// variations share one constraint matrix. An Instance owns a reusable
+// solver workspace and is therefore NOT safe for concurrent use; separate
+// goroutines must Prepare separate instances.
+type Instance struct {
+	m       int       // rows
+	nStruct int       // structural variables
+	obj     []float64 // length nStruct
+	rhs     []float64 // length m
+
+	// CSC over nStruct+m columns: structural columns then one slack per
+	// row (slack j = nStruct+i has the single entry (i, 1)).
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+
+	slackLb, slackUb []float64 // per row, fixed by the row sense
+
+	ws *spx // lazily allocated, reused across sequential solves
+}
+
+// Prepare assembles p's rows into an Instance. Subsequent bound changes
+// are passed to Solve/SolveFrom; changes to p itself are not observed.
+func Prepare(p *Problem) *Instance {
+	m, n := len(p.Rows), p.NumVars()
+	in := &Instance{
+		m:       m,
+		nStruct: n,
+		obj:     append([]float64(nil), p.Obj...),
+		rhs:     make([]float64, m),
+		slackLb: make([]float64, m),
+		slackUb: make([]float64, m),
+	}
+	nTot := n + m
+	count := make([]int32, nTot)
+	nnz := 0
+	for _, row := range p.Rows {
+		for _, c := range row.Coefs {
+			if c.Val != 0 {
+				count[c.Var]++
+				nnz++
+			}
+		}
+	}
+	in.colPtr = make([]int32, nTot+1)
+	for j := 0; j < n; j++ {
+		in.colPtr[j+1] = in.colPtr[j] + count[j]
+	}
+	for i := 0; i < m; i++ { // slack columns: one entry each
+		in.colPtr[n+i+1] = in.colPtr[n+i] + 1
+	}
+	in.rowIdx = make([]int32, nnz+m)
+	in.vals = make([]float64, nnz+m)
+	next := make([]int32, nTot)
+	copy(next, in.colPtr[:nTot])
+	for i, row := range p.Rows {
+		in.rhs[i] = row.RHS
+		for _, c := range row.Coefs {
+			if c.Val == 0 {
+				continue
+			}
+			k := next[c.Var]
+			in.rowIdx[k] = int32(i)
+			in.vals[k] = c.Val
+			next[c.Var] = k + 1
+		}
+		k := next[n+i]
+		in.rowIdx[k] = int32(i)
+		in.vals[k] = 1
+		switch row.Sense {
+		case LE:
+			in.slackLb[i], in.slackUb[i] = 0, Inf
+		case GE:
+			in.slackLb[i], in.slackUb[i] = math.Inf(-1), 0
+		case EQ:
+			in.slackLb[i], in.slackUb[i] = 0, 0
+		}
+	}
+	return in
+}
+
+// Solve cold-solves the instance under the given structural bounds:
+// phase-1 artificial start, then primal simplex on the true objective.
+func (in *Instance) Solve(lb, ub []float64, opts Options) Result {
+	s := in.workspace(&opts)
+	s.lastBasis = nil // binv is about to be overwritten
+	if !s.resetBounds(lb, ub) {
+		return Result{Status: Infeasible}
+	}
+	s.coldStart()
+
+	iters := 0
+	if s.nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		c1 := make([]float64, s.n)
+		for j := s.nTot; j < s.n; j++ {
+			c1[j] = 1
+		}
+		st, it := s.primal(c1, opts.MaxIters)
+		iters += it
+		if st == IterLimit {
+			return s.result(IterLimit, iters, false)
+		}
+		sum := 0.0
+		for j := s.nTot; j < s.n; j++ {
+			sum += s.x[j]
+		}
+		if sum > 1e-6 {
+			return Result{Status: Infeasible, Iters: iters}
+		}
+		// Freeze artificials at zero for phase 2.
+		for j := s.nTot; j < s.n; j++ {
+			s.ub[j] = 0
+			s.x[j] = 0
+		}
+	}
+	st, it := s.primal(s.obj2, opts.MaxIters-iters)
+	iters += it
+	return s.result(st, iters, false)
+}
+
+// SolveFrom reoptimizes from a previously returned basis after bound
+// changes, using the bounded-variable dual simplex: the supplied basis
+// stays dual feasible when only bounds moved (the branch-and-bound case),
+// so a handful of dual pivots restore primal feasibility where a cold
+// solve would replay phases 1 and 2 from scratch. When the basis is the
+// instance's most recent one, the live factorization is reused; otherwise
+// the basis inverse is refactorized from the snapshot. On numerical
+// trouble or a stalled dual it transparently falls back to a cold solve
+// (Result.ColdRestart reports this).
+func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Result {
+	if basis == nil || len(basis.basic) != in.m || len(basis.stat) != in.nStruct+in.m {
+		res := in.Solve(lb, ub, opts)
+		res.ColdRestart = true
+		return res
+	}
+	s := in.workspace(&opts)
+	hot := basis == s.lastBasis && s.factorOK
+	s.lastBasis = nil
+	if !s.resetBounds(lb, ub) {
+		return Result{Status: Infeasible}
+	}
+	s.installBasis(basis)
+	if !hot && !s.refactor() {
+		res := in.Solve(lb, ub, opts)
+		res.ColdRestart = true
+		return res
+	}
+	s.computeXB()
+
+	// Dual reoptimization with a deliberately tight budget. A successful
+	// re-solve after a single bound change takes a handful of pivots; a
+	// dual that has not finished within ~m/8 iterations is almost always
+	// stalling on degeneracy, and every additional iteration it burns
+	// comes on top of the cold solve it will fall back to anyway —
+	// failing fast is what keeps the warm path a strict win.
+	dualBudget := 50 + s.m/8
+	if opts.MaxIters < dualBudget {
+		dualBudget = opts.MaxIters
+	}
+	st, it := s.dual(dualBudget)
+	iters := it
+	switch st {
+	case Infeasible:
+		return Result{Status: Infeasible, Iters: iters}
+	case IterLimit:
+		if s.aborted() {
+			return s.result(IterLimit, iters, false)
+		}
+		res := in.Solve(lb, ub, opts)
+		res.ColdRestart = true
+		res.Iters += iters
+		return res
+	}
+	// Primal cleanup: a no-op when the dual finished cleanly, and the
+	// safety net when reduced costs drifted across the basis handoff.
+	st, it = s.primal(s.obj2, opts.MaxIters-iters)
+	iters += it
+	return s.result(st, iters, false)
+}
+
+// spx is the solver workspace: sparse simplex state reused across
+// sequential solves of one Instance.
+type spx struct {
+	in   *Instance
+	m    int // rows
+	nTot int // structural + slack columns
+	n    int // nTot + live artificials
+	nArt int
+
+	lb, ub []float64
+	obj2   []float64 // phase-2 objective (structural costs, zeros elsewhere)
+	x      []float64
+	stat   []vstat
+	basis  []int
+	binv   []float64 // m×m, row-major: row i belongs to basis[i]
+
+	artRow  []int32 // artificial j = nTot+k sits in row artRow[k]
+	artSign []float64
+
+	y, w, rho, resid []float64
+	gamma            []float64 // Devex reference weights
+	work             []float64 // refactorization scratch, m×m
+
+	lastBasis *Basis // snapshot matching the live factorization, if any
+	factorOK  bool
+	pivots    int // since the last refactorization
+
+	opts     *Options
+	eps      float64
+	deadline time.Time
+	cancel   <-chan struct{}
+	abortSet bool
+}
+
+// workspace returns the reusable solver state, (re)allocating on first
+// use, and applies option defaults.
+func (in *Instance) workspace(opts *Options) *spx {
+	if opts.Eps == 0 {
+		opts.Eps = defaultEps
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 50*(in.m+in.nStruct) + 1000
+	}
+	if opts.RefactorEvery == 0 {
+		opts.RefactorEvery = defaultRefactorEvery
+	}
+	if in.ws == nil {
+		m, nTot := in.m, in.nStruct+in.m
+		total := nTot + m // artificials at most one per row
+		in.ws = &spx{
+			in: in, m: m, nTot: nTot,
+			lb: make([]float64, total), ub: make([]float64, total),
+			obj2: make([]float64, total), x: make([]float64, total),
+			stat: make([]vstat, total), basis: make([]int, m),
+			binv: make([]float64, m*m), work: make([]float64, m*m),
+			artRow: make([]int32, 0, m), artSign: make([]float64, 0, m),
+			y: make([]float64, m), w: make([]float64, m),
+			rho: make([]float64, m), resid: make([]float64, m),
+			gamma: make([]float64, total),
+		}
+	}
+	s := in.ws
+	s.opts = opts
+	s.eps = opts.Eps
+	s.deadline = opts.Deadline
+	s.cancel = opts.Cancel
+	s.abortSet = false
+	// lastBasis, factorOK and the pivot count survive between solves so
+	// that SolveFrom can reuse a still-live factorization (the hot path)
+	// and the refactorization cadence tracks drift across short warm
+	// solves.
+	return s
+}
+
+// resetBounds loads structural bounds from the caller and slack bounds
+// from the instance; reports false if a structural bound pair is empty.
+func (s *spx) resetBounds(lb, ub []float64) bool {
+	in := s.in
+	s.n = s.nTot
+	s.nArt = 0
+	s.artRow = s.artRow[:0]
+	s.artSign = s.artSign[:0]
+	copy(s.lb[:in.nStruct], lb)
+	copy(s.ub[:in.nStruct], ub)
+	copy(s.lb[in.nStruct:s.nTot], in.slackLb)
+	copy(s.ub[in.nStruct:s.nTot], in.slackUb)
+	for j := range s.obj2[:s.nTot] {
+		s.obj2[j] = 0
+	}
+	copy(s.obj2[:in.nStruct], in.obj)
+	for j := 0; j < in.nStruct; j++ {
+		if s.lb[j] > s.ub[j]+s.eps {
+			return false
+		}
+	}
+	return true
+}
+
+// col returns the sparse pattern of column j (structural, slack or
+// artificial).
+func (s *spx) col(j int) ([]int32, []float64) {
+	if j < s.nTot {
+		a, b := s.in.colPtr[j], s.in.colPtr[j+1]
+		return s.in.rowIdx[a:b], s.in.vals[a:b]
+	}
+	k := j - s.nTot
+	return s.artRow[k : k+1], s.artSign[k : k+1]
+}
+
+// coldStart places every column nonbasic at its start value and builds
+// the initial basis from slacks, adding artificials where a slack cannot
+// absorb the row residual (the classical phase-1 start).
+func (s *spx) coldStart() {
+	in := s.in
+	m := s.m
+	for j := 0; j < s.nTot; j++ {
+		s.x[j] = startValue(s.lb[j], s.ub[j])
+		if s.x[j] == s.ub[j] && !math.IsInf(s.ub[j], 1) && s.x[j] != s.lb[j] {
+			s.stat[j] = atUpper
+		} else {
+			s.stat[j] = atLower
+		}
+	}
+	r := s.resid[:m]
+	copy(r, in.rhs)
+	for j := 0; j < s.nTot; j++ {
+		if s.x[j] != 0 {
+			idx, vals := s.col(j)
+			for k, row := range idx {
+				r[row] -= vals[k] * s.x[j]
+			}
+		}
+	}
+	for k := range s.binv {
+		s.binv[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		sj := in.nStruct + i
+		v := s.x[sj] + r[i]
+		if v >= s.lb[sj]-s.eps && v <= s.ub[sj]+s.eps {
+			s.x[sj] = clamp(v, s.lb[sj], s.ub[sj])
+			s.basis[i] = sj
+			s.stat[sj] = basic
+			s.binv[i*m+i] = 1
+			continue
+		}
+		resid := r[i] - (s.x[sj] - startValue(s.lb[sj], s.ub[sj]))
+		s.x[sj] = startValue(s.lb[sj], s.ub[sj])
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		aj := s.n
+		s.artRow = append(s.artRow, int32(i))
+		s.artSign = append(s.artSign, sign)
+		s.lb[aj] = 0
+		s.ub[aj] = Inf
+		s.obj2[aj] = 0
+		s.stat[aj] = basic
+		s.x[aj] = math.Abs(resid)
+		s.n++
+		s.nArt++
+		s.basis[i] = aj
+		s.binv[i*m+i] = sign
+	}
+	s.factorOK = true
+	s.pivots = 0
+}
+
+// installBasis loads statuses and the basic set from a snapshot and snaps
+// every nonbasic column to its (possibly changed) bound.
+func (s *spx) installBasis(b *Basis) {
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = int(b.basic[i])
+	}
+	copy(s.stat[:s.nTot], b.stat)
+	for j := 0; j < s.nTot; j++ {
+		switch {
+		case s.stat[j] == basic:
+			// computeXB fills these.
+		case s.lb[j] == s.ub[j]:
+			s.stat[j] = atLower
+			s.x[j] = s.lb[j]
+		case s.stat[j] == atLower:
+			if !math.IsInf(s.lb[j], -1) {
+				s.x[j] = s.lb[j]
+			} else if !math.IsInf(s.ub[j], 1) {
+				s.stat[j] = atUpper
+				s.x[j] = s.ub[j]
+			} else {
+				s.x[j] = 0 // free column parks at 0
+			}
+		default: // atUpper
+			if !math.IsInf(s.ub[j], 1) {
+				s.x[j] = s.ub[j]
+			} else if !math.IsInf(s.lb[j], -1) {
+				s.stat[j] = atLower
+				s.x[j] = s.lb[j]
+			} else {
+				s.stat[j] = atLower
+				s.x[j] = 0
+			}
+		}
+	}
+}
+
+// refactor rebuilds binv as the explicit inverse of the current basis
+// matrix by Gauss–Jordan elimination with partial pivoting; reports false
+// when the basis is singular.
+func (s *spx) refactor() bool {
+	m := s.m
+	if m == 0 {
+		s.factorOK = true
+		s.pivots = 0
+		return true
+	}
+	work := s.work
+	for k := range work {
+		work[k] = 0
+	}
+	for i := 0; i < m; i++ { // column i of B = column of basis[i]
+		idx, vals := s.col(s.basis[i])
+		for k, row := range idx {
+			work[int(row)*m+i] += vals[k]
+		}
+	}
+	binv := s.binv
+	for k := range binv {
+		binv[k] = 0
+	}
+	for i := 0; i < m; i++ {
+		binv[i*m+i] = 1
+	}
+	for k := 0; k < m; k++ {
+		// Partial pivot: the largest |work[i][k]| among rows i ≥ k.
+		p, best := -1, 1e-10
+		for i := k; i < m; i++ {
+			if a := math.Abs(work[i*m+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if p < 0 {
+			s.factorOK = false
+			return false
+		}
+		if p != k {
+			swapRows(work, m, p, k)
+			swapRows(binv, m, p, k)
+		}
+		d := 1 / work[k*m+k]
+		for c := 0; c < m; c++ {
+			work[k*m+c] *= d
+			binv[k*m+c] *= d
+		}
+		for i := 0; i < m; i++ {
+			if i == k {
+				continue
+			}
+			f := work[i*m+k]
+			if f == 0 {
+				continue
+			}
+			wr, br := work[k*m:k*m+m], binv[k*m:k*m+m]
+			wi, bi := work[i*m:i*m+m], binv[i*m:i*m+m]
+			for c := 0; c < m; c++ {
+				wi[c] -= f * wr[c]
+				bi[c] -= f * br[c]
+			}
+		}
+	}
+	s.factorOK = true
+	s.pivots = 0
+	return true
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri, rj := a[i*m:i*m+m], a[j*m:j*m+m]
+	for c := 0; c < m; c++ {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// computeXB recomputes the basic values x_B = B⁻¹(b − N·x_N).
+func (s *spx) computeXB() {
+	m := s.m
+	r := s.resid[:m]
+	copy(r, s.in.rhs)
+	for j := 0; j < s.n; j++ {
+		if s.stat[j] != basic && s.x[j] != 0 {
+			idx, vals := s.col(j)
+			for k, row := range idx {
+				r[row] -= vals[k] * s.x[j]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : i*m+m]
+		v := 0.0
+		for k := 0; k < m; k++ {
+			v += row[k] * r[k]
+		}
+		s.x[s.basis[i]] = v
+	}
+}
+
+// ftran computes w = B⁻¹·a_j.
+func (s *spx) ftran(j int, w []float64) {
+	m := s.m
+	for i := range w[:m] {
+		w[i] = 0
+	}
+	idx, vals := s.col(j)
+	for k, row := range idx {
+		v := vals[k]
+		c := int(row)
+		for i := 0; i < m; i++ {
+			w[i] += s.binv[i*m+c] * v
+		}
+	}
+}
+
+// duals computes y = c_B·B⁻¹ for the objective c.
+func (s *spx) duals(c []float64) {
+	m := s.m
+	y := s.y[:m]
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := c[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+}
+
+// reducedCost returns c_j − y·a_j.
+func (s *spx) reducedCost(c []float64, j int) float64 {
+	d := c[j]
+	idx, vals := s.col(j)
+	for k, row := range idx {
+		d -= s.y[row] * vals[k]
+	}
+	return d
+}
+
+// pivotUpdate applies the standard product-form update to binv after
+// `enter` replaces the basic variable of row `leave`; w = B⁻¹·a_enter.
+// Reports false when the pivot element is numerically unusable.
+func (s *spx) pivotUpdate(leave int, w []float64) bool {
+	m := s.m
+	piv := w[leave]
+	if math.Abs(piv) < 1e-12 {
+		return false
+	}
+	rowL := s.binv[leave*m : leave*m+m]
+	inv := 1 / piv
+	for k := 0; k < m; k++ {
+		rowL[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave || w[i] == 0 {
+			continue
+		}
+		f := w[i]
+		ri := s.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			ri[k] -= f * rowL[k]
+		}
+	}
+	s.pivots++
+	return true
+}
+
+// checkAbort reports whether the deadline passed or the cancel channel
+// closed.
+func (s *spx) checkAbort() bool {
+	if s.abortSet {
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.abortSet = true
+		return true
+	}
+	if s.cancel != nil {
+		select {
+		case <-s.cancel:
+			s.abortSet = true
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+func (s *spx) aborted() bool { return s.abortSet }
+
+// primal runs bounded-variable primal simplex iterations for objective c
+// until optimal, unbounded, or the budget runs out. Pricing is Devex by
+// default (Dantzig under Options.Pricing), with Bland's rule under
+// prolonged degeneracy.
+func (s *spx) primal(c []float64, maxIters int) (Status, int) {
+	if maxIters <= 0 {
+		return IterLimit, 0
+	}
+	m := s.m
+	w := s.w[:m]
+	devex := s.opts.Pricing == PricingDevex
+	for j := 0; j < s.n; j++ {
+		s.gamma[j] = 1
+	}
+	degenerate := 0
+	useBland := false
+	for it := 0; it < maxIters; it++ {
+		if it%64 == 0 && s.checkAbort() {
+			return IterLimit, it
+		}
+		s.duals(c)
+		// Pricing.
+		enter := -1
+		bestScore := 0.0
+		var dir float64 // +1 entering increases, −1 decreases
+		for j := 0; j < s.n; j++ {
+			if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			d := s.reducedCost(c, j)
+			var viol, dd float64
+			switch {
+			case s.stat[j] == atLower && d < -s.eps:
+				viol, dd = -d, 1
+			case s.stat[j] == atLower && d > s.eps && math.IsInf(s.lb[j], -1):
+				// Free column parked at 0 can also decrease.
+				viol, dd = d, -1
+			case s.stat[j] == atUpper && d > s.eps:
+				viol, dd = d, -1
+			default:
+				continue
+			}
+			if useBland {
+				enter, dir = j, dd
+				break
+			}
+			score := viol
+			if devex {
+				score = viol * viol / s.gamma[j]
+			}
+			if score > bestScore {
+				bestScore, enter, dir = score, j, dd
+			}
+		}
+		if enter < 0 {
+			return Optimal, it
+		}
+		s.ftran(enter, w)
+		// Ratio test: entering moves by t·dir ≥ 0; basic i changes by
+		// −dir·t·w[i].
+		tMax := s.ub[enter] - s.lb[enter] // bound-flip distance
+		leave := -1
+		leaveToUpper := false
+		for i := 0; i < m; i++ {
+			delta := -dir * w[i]
+			if delta > s.eps { // basic increases toward ub
+				bi := s.basis[i]
+				if !math.IsInf(s.ub[bi], 1) {
+					t := (s.ub[bi] - s.x[bi]) / delta
+					if t < tMax-1e-12 {
+						tMax, leave, leaveToUpper = t, i, true
+					}
+				}
+			} else if delta < -s.eps { // basic decreases toward lb
+				bi := s.basis[i]
+				if !math.IsInf(s.lb[bi], -1) {
+					t := (s.lb[bi] - s.x[bi]) / delta
+					if t < tMax-1e-12 {
+						tMax, leave, leaveToUpper = t, i, false
+					}
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return Unbounded, it
+		}
+		if leave >= 0 && math.Abs(w[leave]) < 1e-12 {
+			// Numerically unusable pivot. With a fresh factorization the
+			// basis is genuinely stuck; otherwise rebuild and re-derive
+			// the direction next iteration.
+			if s.pivots == 0 {
+				return IterLimit, it
+			}
+			if !s.refactor() {
+				return IterLimit, it
+			}
+			s.computeXB()
+			continue
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax < 1e-12 {
+			degenerate++
+			if degenerate > 3*m+50 {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+		}
+		// Apply the step.
+		s.x[enter] += dir * tMax
+		for i := 0; i < m; i++ {
+			s.x[s.basis[i]] -= dir * tMax * w[i]
+		}
+		if leave < 0 {
+			// Bound flip: entering switches bound, basis unchanged.
+			if dir > 0 {
+				s.stat[enter] = atUpper
+				s.x[enter] = s.ub[enter]
+			} else {
+				s.stat[enter] = atLower
+				s.x[enter] = s.lb[enter]
+			}
+			continue
+		}
+		lv := s.basis[leave]
+		if leaveToUpper {
+			s.stat[lv] = atUpper
+			s.x[lv] = s.ub[lv]
+		} else {
+			s.stat[lv] = atLower
+			s.x[lv] = s.lb[lv]
+		}
+		gammaEnter := s.gamma[enter]
+		alphaE := w[leave]
+		if devex && !useBland {
+			copy(s.rho[:m], s.binv[leave*m:leave*m+m]) // pre-pivot row
+		}
+		s.stat[enter] = basic
+		s.basis[leave] = enter
+		if !s.pivotUpdate(leave, w) {
+			return IterLimit, it // excluded by the pre-pivot magnitude check
+		}
+		if devex && !useBland {
+			// Devex reference-weight update from the pre-pivot row.
+			s.gamma[lv] = math.Max(gammaEnter/(alphaE*alphaE), 1)
+			ratio2 := gammaEnter / (alphaE * alphaE)
+			maxGamma := 1.0
+			for j := 0; j < s.n; j++ {
+				if s.stat[j] == basic || j == lv || s.lb[j] == s.ub[j] {
+					continue
+				}
+				idx, vals := s.col(j)
+				alpha := 0.0
+				for k, row := range idx {
+					alpha += s.rho[row] * vals[k]
+				}
+				if alpha != 0 {
+					if cand := alpha * alpha * ratio2; cand > s.gamma[j] {
+						s.gamma[j] = cand
+					}
+				}
+				if s.gamma[j] > maxGamma {
+					maxGamma = s.gamma[j]
+				}
+			}
+			if maxGamma > 1e10 {
+				for j := 0; j < s.n; j++ {
+					s.gamma[j] = 1
+				}
+			}
+		}
+		if s.pivots >= s.opts.RefactorEvery {
+			if !s.refactor() {
+				return IterLimit, it
+			}
+			s.computeXB()
+		}
+	}
+	return IterLimit, maxIters
+}
+
+// dual runs bounded-variable dual simplex iterations on the phase-2
+// objective until primal feasibility is restored (Optimal), primal
+// infeasibility is proven (Infeasible), or the budget runs out
+// (IterLimit — the caller then falls back to a cold solve).
+func (s *spx) dual(maxIters int) (Status, int) {
+	m := s.m
+	w := s.w[:m]
+	rho := s.rho[:m]
+	for it := 0; it < maxIters; it++ {
+		if it%64 == 0 && s.checkAbort() {
+			return IterLimit, it
+		}
+		// Leaving row: the most primal-infeasible basic variable.
+		r := -1
+		worst := s.eps
+		below := false
+		for i := 0; i < m; i++ {
+			bi := s.basis[i]
+			if v := s.lb[bi] - s.x[bi]; v > worst {
+				worst, r, below = v, i, true
+			}
+			if v := s.x[bi] - s.ub[bi]; v > worst {
+				worst, r, below = v, i, false
+			}
+		}
+		if r < 0 {
+			return Optimal, it
+		}
+		copy(rho, s.binv[r*m:r*m+m])
+		s.duals(s.obj2)
+		// Entering column: dual ratio test over eligible nonbasics.
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		for j := 0; j < s.n; j++ {
+			if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			idx, vals := s.col(j)
+			alpha := 0.0
+			for k, row := range idx {
+				alpha += rho[row] * vals[k]
+			}
+			if math.Abs(alpha) <= 1e-9 {
+				continue
+			}
+			free := math.IsInf(s.lb[j], -1) && math.IsInf(s.ub[j], 1)
+			// Moving x_j by δ changes x_B[r] by −α·δ; we need it to
+			// increase (below) or decrease (above), within j's one
+			// admissible direction.
+			if !free {
+				if below {
+					if s.stat[j] == atLower && alpha >= 0 {
+						continue
+					}
+					if s.stat[j] == atUpper && alpha <= 0 {
+						continue
+					}
+				} else {
+					if s.stat[j] == atLower && alpha <= 0 {
+						continue
+					}
+					if s.stat[j] == atUpper && alpha >= 0 {
+						continue
+					}
+				}
+			}
+			d := s.reducedCost(s.obj2, j)
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && math.Abs(alpha) > bestAlpha) {
+				bestRatio, bestAlpha, enter = ratio, math.Abs(alpha), j
+			}
+		}
+		if enter < 0 {
+			// No column can repair row r: the bound change made the LP
+			// primally infeasible.
+			return Infeasible, it
+		}
+		s.ftran(enter, w)
+		alphaE := w[r]
+		if math.Abs(alphaE) < 1e-9 {
+			// Factorization drift: rebuild and retry the iteration. With
+			// a fresh factorization the pivot is genuinely degenerate —
+			// bail out to the cold path.
+			if s.pivots == 0 {
+				return IterLimit, it
+			}
+			if !s.refactor() {
+				return IterLimit, it
+			}
+			s.computeXB()
+			continue
+		}
+		bi := s.basis[r]
+		target := s.ub[bi]
+		if below {
+			target = s.lb[bi]
+		}
+		delta := (s.x[bi] - target) / alphaE
+		// Bound-flipping ratio test (box-bounded dual simplex): when the
+		// full repair step would carry the entering column past its other
+		// bound, flip it there instead — no basis change — and let the
+		// next iteration continue repairing the leftover infeasibility
+		// with the remaining columns. Without this, entering columns overshoot
+		// their boxes and each pivot manufactures fresh infeasibilities.
+		if span := s.ub[enter] - s.lb[enter]; !math.IsInf(span, 1) && math.Abs(delta) > span+s.eps {
+			flip := span
+			if delta < 0 {
+				flip = -span
+			}
+			for i := 0; i < m; i++ {
+				s.x[s.basis[i]] -= flip * w[i]
+			}
+			if flip > 0 {
+				s.stat[enter] = atUpper
+				s.x[enter] = s.ub[enter]
+			} else {
+				s.stat[enter] = atLower
+				s.x[enter] = s.lb[enter]
+			}
+			continue
+		}
+		s.x[enter] += delta
+		for i := 0; i < m; i++ {
+			s.x[s.basis[i]] -= delta * w[i]
+		}
+		s.x[bi] = target
+		if below || s.lb[bi] == s.ub[bi] {
+			s.stat[bi] = atLower
+		} else {
+			s.stat[bi] = atUpper
+		}
+		s.stat[enter] = basic
+		s.basis[r] = enter
+		if !s.pivotUpdate(r, w) {
+			if !s.refactor() {
+				return IterLimit, it
+			}
+			s.computeXB()
+			continue
+		}
+		if s.pivots >= s.opts.RefactorEvery {
+			if !s.refactor() {
+				return IterLimit, it
+			}
+			s.computeXB()
+		}
+	}
+	return IterLimit, maxIters
+}
+
+// result packages the current point, capturing the basis on optimality.
+func (s *spx) result(st Status, iters int, coldRestart bool) Result {
+	in := s.in
+	res := Result{Status: st, Iters: iters, ColdRestart: coldRestart}
+	res.X = make([]float64, in.nStruct)
+	copy(res.X, s.x[:in.nStruct])
+	for j := 0; j < in.nStruct; j++ {
+		res.Obj += in.obj[j] * res.X[j]
+	}
+	if st == Optimal {
+		res.Basis = s.captureBasis()
+	}
+	return res
+}
+
+// captureBasis snapshots the final basis for SolveFrom. Basic artificials
+// (always at zero after a successful phase 1) are swapped for their row's
+// slack so the snapshot only references structural and slack columns;
+// when the slack is itself basic elsewhere the basis is not capturable
+// and nil is returned (the caller then cold-starts descendants).
+func (s *spx) captureBasis() *Basis {
+	m := s.m
+	for i := 0; i < m; i++ {
+		if s.basis[i] < s.nTot {
+			continue
+		}
+		k := s.basis[i] - s.nTot
+		sj := s.in.nStruct + int(s.artRow[k])
+		if s.stat[sj] == basic {
+			return nil
+		}
+		// The artificial sits at zero, so relabeling the row's slack as
+		// basic keeps the same point; a negative artificial sign negates
+		// the corresponding row of the inverse.
+		s.basis[i] = sj
+		s.stat[sj] = basic
+		if s.artSign[k] < 0 {
+			row := s.binv[i*m : i*m+m]
+			for c := range row {
+				row[c] = -row[c]
+			}
+		}
+	}
+	b := &Basis{basic: make([]int32, m), stat: make([]vstat, s.nTot)}
+	for i := 0; i < m; i++ {
+		b.basic[i] = int32(s.basis[i])
+	}
+	copy(b.stat, s.stat[:s.nTot])
+	s.lastBasis = b
+	return b
+}

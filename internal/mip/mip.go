@@ -3,6 +3,14 @@
 // depth-first diving, most-fractional branching, warm-start incumbents
 // and time limits. It stands in for the commercial MILP solver used by
 // the paper (see DESIGN.md).
+//
+// The search re-solves LPs warm: the constraint matrix is prepared once
+// (lp.Prepare), every node threads its parent's optimal basis down the
+// tree, and child relaxations — which differ from the parent by a single
+// variable bound — are dual-reoptimized with lp.SolveFrom in a handful
+// of iterations instead of a cold phase-1 start. An optional shared
+// Incumbent lets concurrent solves of the same objective prune each
+// other's trees.
 package mip
 
 import (
@@ -165,6 +173,14 @@ type Result struct {
 	Bound  float64 // global dual (lower) bound on the optimum
 	Nodes  int
 	LPs    int
+	// SimplexIters is the total simplex iteration count across every LP
+	// solved in the tree — the headline metric of the warm-start
+	// optimization (BENCH_solver.json tracks it).
+	SimplexIters int
+	// WarmLPs counts node relaxations dual-reoptimized from the parent
+	// basis; ColdLPs counts cold solves (the root, nodes without a
+	// usable parent basis, and warm solves that fell back).
+	WarmLPs, ColdLPs int
 }
 
 // Options controls the branch-and-bound search.
@@ -177,11 +193,37 @@ type Options struct {
 	AbsGap     float64         // stop when incumbent − bound ≤ AbsGap (default 1e-6)
 	LPMaxIters int             // per-node LP iteration limit (0: lp default)
 	Cancel     <-chan struct{} // stop the search when closed, keeping the incumbent
+
+	// SharedIncumbent, when non-nil, supplies an externally updated upper
+	// bound on the same objective: pruning tests against
+	// min(own incumbent, SharedIncumbent.Get()), so a bound published by
+	// a concurrent solver cuts this tree too. The solver never writes to
+	// it — publishing is the caller's decision (see OnIncumbent).
+	// Live updates arrive at timing-dependent points, so node-limited
+	// runs that need byte-identical results must pass a sealed incumbent.
+	SharedIncumbent *Incumbent
+	// OnIncumbent, when non-nil, is called synchronously on the solve
+	// goroutine with every strictly improving incumbent the tree search
+	// finds (after integrality rounding). Callers use it to validate and
+	// publish bounds to a SharedIncumbent mid-search.
+	OnIncumbent func(x []float64, obj float64)
+	// ColdStart disables dual re-solves from the parent basis, cold
+	// starting every node as the pre-warm-start solver did (ablation and
+	// cross-check baseline).
+	ColdStart bool
+	// ReferenceLP routes every node relaxation through the preserved
+	// dense reference solver (lp.SolveDense); implies cold starts. Used
+	// by the cross-check tests to pin the sparse/warm path against the
+	// original solver stack.
+	ReferenceLP bool
 }
 
 type node struct {
 	lb, ub []float64
 	depth  int
+	// basis is the parent relaxation's optimal basis; the child LP
+	// differs by one bound and dual-reoptimizes from it.
+	basis *lp.Basis
 }
 
 // Solve runs branch and bound, minimizing the model objective.
@@ -216,10 +258,15 @@ func (m *Model) Solve(opts Options) Result {
 		}
 	}
 
+	inst := lp.Prepare(m.prob)
 	root := &node{lb: append([]float64(nil), m.prob.Lb...), ub: append([]float64(nil), m.prob.Ub...)}
 	stack := []*node{root}
 	rootBound := math.Inf(-1)
 	rootSolved := false
+	// sharedCut records that some subtree was pruned only because of the
+	// shared bound: exhausting the stack then proves "nothing beats the
+	// shared bound" rather than own-incumbent optimality.
+	sharedCut := false
 
 	for len(stack) > 0 {
 		if cancelled(opts.Cancel) || time.Now().After(deadline) || res.Nodes >= opts.NodeLimit {
@@ -233,9 +280,26 @@ func (m *Model) Solve(opts Options) Result {
 		stack = stack[:len(stack)-1]
 		res.Nodes++
 
-		relax := &lp.Problem{Obj: m.prob.Obj, Lb: nd.lb, Ub: nd.ub, Rows: m.prob.Rows}
-		lpRes := lp.Solve(relax, lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline, Cancel: opts.Cancel})
+		lpOpts := lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline, Cancel: opts.Cancel}
+		var lpRes lp.Result
+		switch {
+		case opts.ReferenceLP:
+			relax := &lp.Problem{Obj: m.prob.Obj, Lb: nd.lb, Ub: nd.ub, Rows: m.prob.Rows}
+			lpRes = lp.SolveDense(relax, lpOpts)
+			res.ColdLPs++
+		case nd.basis == nil || opts.ColdStart:
+			lpRes = inst.Solve(nd.lb, nd.ub, lpOpts)
+			res.ColdLPs++
+		default:
+			lpRes = inst.SolveFrom(nd.basis, nd.lb, nd.ub, lpOpts)
+			if lpRes.ColdRestart {
+				res.ColdLPs++
+			} else {
+				res.WarmLPs++
+			}
+		}
 		res.LPs++
+		res.SimplexIters += lpRes.Iters
 		if !rootSolved {
 			rootSolved = true
 			if lpRes.Status == lp.Optimal {
@@ -255,8 +319,15 @@ func (m *Model) Solve(opts Options) Result {
 			logf("node %d: LP iteration limit", res.Nodes)
 			continue
 		}
-		if lpRes.Obj >= res.Obj-opts.AbsGap {
-			continue // pruned by bound
+		cutoff := res.Obj
+		if v := opts.SharedIncumbent.Get(); v < cutoff {
+			cutoff = v
+		}
+		if lpRes.Obj >= cutoff-opts.AbsGap {
+			if lpRes.Obj < res.Obj-opts.AbsGap {
+				sharedCut = true // own incumbent alone would not have pruned
+			}
+			continue // pruned: provably not improving on the best known bound
 		}
 		// Find most fractional integer variable.
 		branch := -1
@@ -285,14 +356,17 @@ func (m *Model) Solve(opts Options) Result {
 				res.X = x
 				res.Status = Feasible
 				logf("incumbent: obj=%g after %d nodes", obj, res.Nodes)
+				if opts.OnIncumbent != nil {
+					opts.OnIncumbent(x, obj)
+				}
 			}
 			continue
 		}
 		v := lpRes.X[branch]
 		floor, ceil := math.Floor(v), math.Ceil(v)
-		down := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1}
+		down := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1, basis: lpRes.Basis}
 		down.ub[branch] = floor
-		up := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1}
+		up := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1, basis: lpRes.Basis}
 		up.lb[branch] = ceil
 		// Dive toward the nearer integer first (pushed last = popped
 		// first).
@@ -304,8 +378,23 @@ func (m *Model) Solve(opts Options) Result {
 	}
 
 	if res.X == nil {
+		if sharedCut {
+			// Every remaining subtree was dominated by a bound some other
+			// solver published — this search has no solution of its own,
+			// but the model is not proven infeasible.
+			res.Status = NoSolution
+			res.Bound = rootBound
+			return res
+		}
 		res.Status = Infeasible
 		res.Bound = math.Inf(1)
+		return res
+	}
+	if sharedCut {
+		// Completion proves "nothing beats the shared bound", not that
+		// the own incumbent is optimal.
+		res.Status = Feasible
+		res.Bound = rootBound
 		return res
 	}
 	res.Status = Optimal

@@ -22,6 +22,32 @@ type BipartitionOptions struct {
 	MinFraction float64
 	TimeLimit   time.Duration // default 5s
 	NodeLimit   int           // default 20000
+	// ColdStartLP disables the warm-started dual re-solves inside the
+	// branch-and-bound tree (solver ablation benchmarks).
+	ColdStartLP bool
+	// Stats, when non-nil, accumulates solver counters across solves.
+	Stats *SolverStats
+}
+
+// SolverStats accumulates branch-and-bound solver counters across
+// bipartition solves (the solver benchmark reads them).
+type SolverStats struct {
+	Nodes        int
+	LPs          int
+	SimplexIters int
+	WarmLPs      int
+	ColdLPs      int
+}
+
+func (st *SolverStats) add(res mip.Result) {
+	if st == nil {
+		return
+	}
+	st.Nodes += res.Nodes
+	st.LPs += res.LPs
+	st.SimplexIters += res.SimplexIters
+	st.WarmLPs += res.WarmLPs
+	st.ColdLPs += res.ColdLPs
 }
 
 // Bipartition splits g into two parts {0,1} such that the quotient graph
@@ -114,7 +140,8 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 		}
 	}
 
-	res := m.Solve(mip.Options{TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit, WarmStart: ws})
+	res := m.Solve(mip.Options{TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit, WarmStart: ws, ColdStart: opts.ColdStartLP})
+	opts.Stats.add(res)
 	if res.X == nil {
 		return nil, 0, false, fmt.Errorf("partition: solver found no solution (%v)", res.Status)
 	}
@@ -180,8 +207,16 @@ type RecursiveOptions struct {
 	MinFraction float64
 	// UseILP selects the exact bipartitioner (default true); the greedy
 	// fallback is always used when the ILP fails or for ablation.
-	UseILP      bool
-	TimeLimit   time.Duration // per bipartition
+	UseILP    bool
+	TimeLimit time.Duration // per bipartition
+	// NodeLimit bounds each bipartition's branch-and-bound tree. Unlike
+	// the wall-clock TimeLimit it binds deterministically: set it (with a
+	// generous TimeLimit) when the partitioning must be byte-identical
+	// across runs and machines. 0 keeps the Bipartition default.
+	NodeLimit int
+	// ColdStartLP disables warm-started dual re-solves in the bipartition
+	// trees (solver ablation benchmarks).
+	ColdStartLP bool
 	greedyForce bool
 }
 
@@ -191,7 +226,8 @@ type Result struct {
 	K         int
 	CutEdges  int
 	ILPSolves int
-	Optimal   int // bipartitions proven optimal
+	Optimal   int         // bipartitions proven optimal
+	Solver    SolverStats // branch-and-bound counters across all bipartition ILPs
 }
 
 // Recursive splits g into acyclic parts of at most MaxPartSize nodes by
@@ -226,6 +262,8 @@ func Recursive(g *graph.DAG, opts RecursiveOptions) (Result, error) {
 		if opts.UseILP && !opts.greedyForce {
 			p, _, opt, err := Bipartition(sub, BipartitionOptions{
 				MinFraction: opts.MinFraction, TimeLimit: opts.TimeLimit,
+				NodeLimit: opts.NodeLimit, ColdStartLP: opts.ColdStartLP,
+				Stats: &res.Solver,
 			})
 			res.ILPSolves++
 			if err == nil {

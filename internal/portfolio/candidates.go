@@ -21,10 +21,11 @@ type Candidate struct {
 	Run  func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error)
 }
 
-// dncMinNodes gates the divide-and-conquer candidate: below this size a
+// DNCMinNodes gates the divide-and-conquer candidate: below this size a
 // single holistic ILP window covers the whole DAG, so the split only adds
-// boundary traffic.
-const dncMinNodes = 24
+// boundary traffic. Exported so the solver benchmark measures the same
+// instance set the portfolio's DnC gate selects.
+const DNCMinNodes = 24
 
 // DefaultCandidates returns every scheduler applicable to g on arch:
 // the two-stage baselines (stage-1 BSPg/Cilk/DFS × clairvoyant/LRU
@@ -82,18 +83,23 @@ func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
 		}),
 		ILPCandidate(),
 	)
-	if g.N() >= dncMinNodes {
+	if g.N() >= DNCMinNodes {
 		cands = append(cands, DNCCandidate(0))
 	}
 	return cands
 }
 
 // pipelineCandidate wraps a two-stage pipeline as a candidate. The
-// pipelines are greedy and fast, so they only consult ctx up front.
+// pipelines are greedy and fast, so they only consult ctx up front. The
+// baseline pipeline (BSPg+clairvoyant; DFS+clairvoyant on P=1) returns
+// the run's memoized warm start instead of recomputing it.
 func pipelineCandidate(name string, mk func(opts Options) twostage.Pipeline) Candidate {
 	return Candidate{Name: name, Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if sh := opts.shared; sh != nil && sh.warm != nil && name == baselineCandidateName(arch) {
+			return sh.warm, nil
 		}
 		return mk(opts).Run(g, arch)
 	}}
@@ -101,33 +107,49 @@ func pipelineCandidate(name string, mk func(opts Options) twostage.Pipeline) Can
 
 // ILPCandidate is the holistic ILP scheduler under the portfolio's time
 // budget. Cancellation returns its best-so-far schedule (at minimum the
-// warm start), never an error.
+// warm start), never an error. It reuses the run's memoized baseline as
+// its warm start and prunes against (and publishes to) the shared
+// incumbent.
 func ILPCandidate() Candidate {
 	return Candidate{Name: "ilp", Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
-		s, _, err := ilpsched.Solve(g, arch, ilpsched.Options{
+		ilpOpts := ilpsched.Options{
 			Context:           ctx,
 			Model:             opts.Model,
 			TimeLimit:         opts.ILPTimeLimit,
 			NodeLimit:         opts.ILPNodeLimit,
 			LocalSearchBudget: opts.LocalSearchBudget,
 			Seed:              candidateSeed(opts.Seed, "ilp"),
-		})
+		}
+		if sh := opts.shared; sh != nil {
+			ilpOpts.WarmStart = sh.warm
+			ilpOpts.Incumbent = sh.inc
+		}
+		s, _, err := ilpsched.Solve(g, arch, ilpOpts)
 		return s, err
 	}}
 }
 
 // DNCCandidate is the divide-and-conquer ILP scheduler; maxPart ≤ 0
-// selects the dnc default part size.
+// selects the dnc default part size. Under Options.ILPNodeLimit both the
+// partitioning ILPs and the per-part scheduling ILPs run node-limited, so
+// dnc-ilp joins the byte-identical determinism guarantee; the shared
+// incumbent cuts hopeless runs off between parts.
 func DNCCandidate(maxPart int) Candidate {
 	return Candidate{Name: "dnc-ilp", Run: func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, error) {
-		s, _, err := dnc.Solve(g, arch, dnc.Options{
-			Context:           ctx,
-			Model:             opts.Model,
-			MaxPartSize:       maxPart,
-			SubTimeLimit:      opts.ILPTimeLimit,
-			LocalSearchBudget: opts.LocalSearchBudget / 4,
-			Seed:              candidateSeed(opts.Seed, "dnc-ilp"),
-		})
+		dncOpts := dnc.Options{
+			Context:            ctx,
+			Model:              opts.Model,
+			MaxPartSize:        maxPart,
+			SubTimeLimit:       opts.ILPTimeLimit,
+			SubNodeLimit:       opts.ILPNodeLimit,
+			PartitionNodeLimit: opts.ILPNodeLimit,
+			LocalSearchBudget:  opts.LocalSearchBudget / 4,
+			Seed:               candidateSeed(opts.Seed, "dnc-ilp"),
+		}
+		if sh := opts.shared; sh != nil {
+			dncOpts.Incumbent = sh.inc
+		}
+		s, _, err := dnc.Solve(g, arch, dncOpts)
 		return s, err
 	}}
 }

@@ -27,12 +27,17 @@ func deterministicOpts(workers int) Options {
 }
 
 // snapshot serializes every candidate schedule plus the winner, capturing
-// the full observable outcome of a run.
+// the full observable outcome of a run. Candidate errors (e.g. a
+// deterministic incumbent cutoff of the DnC run) serialize by message.
 func snapshot(t *testing.T, res *Result) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "best=%s cost=%.9g\n", res.BestName, res.BestCost)
 	for _, c := range res.Candidates {
+		if c.Err != nil {
+			fmt.Fprintf(&buf, "candidate %s err=%v\n", c.Name, c.Err)
+			continue
+		}
 		fmt.Fprintf(&buf, "candidate %s cost=%.9g\n", c.Name, c.Cost)
 		if err := mbsp.WriteSchedule(&buf, c.Schedule); err != nil {
 			t.Fatal(err)
@@ -44,6 +49,10 @@ func snapshot(t *testing.T, res *Result) []byte {
 // TestPortfolioDeterministicAcrossGOMAXPROCS asserts byte-identical
 // schedules for identical seeds under GOMAXPROCS 1, 2 and 8, and under
 // different worker-pool widths. Run with -race (scripts/verify.sh does).
+// Under Options.ILPNodeLimit every candidate — including dnc-ilp, whose
+// partitioning and sub-ILP stages are node-limited through the knob, and
+// the warm-started dual-simplex ILP path — must land in the guarantee;
+// the sealed shared incumbent must not break it either.
 func TestPortfolioDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	for _, name := range []string{"spmv_N6", "CG_N2_K2", "k-means"} {
@@ -57,14 +66,6 @@ func TestPortfolioDeterministicAcrossGOMAXPROCS(t *testing.T) {
 			runtime.GOMAXPROCS(procs)
 			for _, workers := range []int{1, 4} {
 				opts := deterministicOpts(workers)
-				// The DnC candidate's partitioning stage is wall-clock
-				// budgeted (no node-limit knob), so it cannot promise
-				// byte-identical output; every other candidate must.
-				for _, c := range DefaultCandidates(inst.DAG, arch) {
-					if c.Name != "dnc-ilp" {
-						opts.Candidates = append(opts.Candidates, c)
-					}
-				}
 				res, err := Run(context.Background(), inst.DAG, arch, opts)
 				if err != nil {
 					t.Fatalf("%s (GOMAXPROCS=%d workers=%d): %v", name, procs, workers, err)
@@ -80,6 +81,34 @@ func TestPortfolioDeterministicAcrossGOMAXPROCS(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestDeterministicModeSealsIncumbent pins the mechanism behind the
+// guarantee: a node-limited run must produce the same bytes whether the
+// shared incumbent is enabled (sealed at the deterministic baseline
+// cost) or disabled entirely — live sharing must not leak into
+// node-limited searches.
+func TestDeterministicModeSealsIncumbent(t *testing.T) {
+	inst, err := workloads.ByName("CG_N2_K2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := baseArch(inst.DAG)
+	withInc := deterministicOpts(4)
+	resInc, err := Run(context.Background(), inst.DAG, arch, withInc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := deterministicOpts(4)
+	without.DisableSharedIncumbent = true
+	resNo, err := Run(context.Background(), inst.DAG, arch, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resInc.BestName != resNo.BestName || resInc.BestCost != resNo.BestCost {
+		t.Fatalf("sealed incumbent changed the outcome: %s/%g vs %s/%g",
+			resInc.BestName, resInc.BestCost, resNo.BestName, resNo.BestCost)
 	}
 }
 

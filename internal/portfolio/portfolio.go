@@ -30,6 +30,8 @@ import (
 
 	"mbsp/internal/graph"
 	"mbsp/internal/mbsp"
+	"mbsp/internal/mip"
+	"mbsp/internal/twostage"
 )
 
 // Options configures a portfolio run.
@@ -63,8 +65,40 @@ type Options struct {
 	// Candidates overrides the scheduler set. Nil selects
 	// DefaultCandidates(g, arch).
 	Candidates []Candidate
+	// DisableSharedIncumbent turns off the portfolio-wide shared
+	// incumbent. By default every candidate's validated cost — and, for
+	// the ILP, every incumbent found mid-search — feeds a monotone atomic
+	// bound that the ILP and DnC candidates prune against, so losing
+	// candidates cut off early. Under a node-limited deterministic run
+	// (ILPNodeLimit > 0) the incumbent is sealed at the memoized
+	// baseline cost before any candidate starts, keeping the
+	// byte-identical guarantee (see DESIGN.md).
+	DisableSharedIncumbent bool
 	// Logf receives progress messages.
 	Logf func(format string, args ...interface{})
+
+	// shared carries the per-run shared state (incumbent, memoized warm
+	// start) from Run to the candidates; external candidates ignore it.
+	shared *sharedState
+}
+
+// sharedState is the per-run state Run hands to every candidate: the
+// portfolio-wide incumbent and the memoized two-stage baseline that both
+// the baseline candidate and the ILP warm start would otherwise each
+// recompute.
+type sharedState struct {
+	inc      *mip.Incumbent
+	warm     *mbsp.Schedule // nil when the baseline pipeline failed
+	warmCost float64
+}
+
+// baselineCandidateName names the candidate whose schedule equals the
+// memoized warm start on this architecture.
+func baselineCandidateName(arch mbsp.Arch) string {
+	if arch.P == 1 {
+		return "dfs+clairvoyant"
+	}
+	return "bspg+clairvoyant"
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +176,38 @@ func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Resu
 	if len(cands) == 0 {
 		return nil, errors.New("portfolio: no candidates")
 	}
+
+	// Shared per-run state: memoize the two-stage baseline once — it is
+	// both a candidate and the ILP's warm start — and seed the
+	// portfolio-wide incumbent with its cost. Skipped when the context
+	// is already cancelled: the candidates will all report the context
+	// error without running, so the baseline would be wasted work that
+	// delays the prompt return.
+	sh := &sharedState{}
+	if !opts.DisableSharedIncumbent {
+		sh.inc = mip.NewIncumbent()
+	}
+	if ctx.Err() == nil {
+		pl := twostage.BSPgClairvoyant(arch.G, arch.L)
+		if arch.P == 1 {
+			pl = twostage.DFSClairvoyant()
+		}
+		if w, err := pl.Run(g, arch); err == nil && w.Validate() == nil {
+			sh.warm = w
+			sh.warmCost = w.Cost(opts.Model)
+			sh.inc.Offer(sh.warmCost)
+		} else if err != nil {
+			opts.Logf("portfolio: baseline warm start unavailable: %v", err)
+		}
+	}
+	if opts.ILPNodeLimit > 0 {
+		// Deterministic mode: freeze the incumbent at its deterministic
+		// seed value. Live updates land at timing-dependent points and
+		// would perturb the node-limited searches' deterministic node
+		// accounting (see DESIGN.md).
+		sh.inc.Seal()
+	}
+	opts.shared = sh
 
 	res := &Result{Candidates: make([]CandidateResult, len(cands))}
 	workers := opts.Workers
@@ -225,6 +291,11 @@ func runCandidate(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Option
 		out.SyncCost = s.SyncCost()
 		out.AsyncCost = s.AsyncCost()
 		out.Cost = s.Cost(opts.Model)
+		if opts.shared != nil {
+			// Feed the portfolio-wide bound so still-running candidates
+			// prune against this result (no-op when sealed).
+			opts.shared.inc.Offer(out.Cost)
+		}
 	}
 	if out.Err != nil {
 		opts.Logf("portfolio: candidate %s failed after %v: %v", c.Name, out.Elapsed, out.Err)

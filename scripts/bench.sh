@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Solver-core benchmark: emits BENCH_solver.json so the warm-start
+# speedup (total simplex iterations across the branch-and-bound trees the
+# registry workloads search, warm vs cold) is tracked across PRs.
+#
+# Usage: scripts/bench.sh [outdir]
+#
+#   1. BenchmarkLPSolve / BenchmarkMIPNode micro-benchmarks (one
+#      iteration: pricing-rule and warm-vs-cold iteration counts);
+#   2. the solver experiment on the tiny registry dataset, which fails on
+#      warm/cold divergence or a warm-start regression and writes
+#      BENCH_solver.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+
+echo "== micro-benchmarks: BenchmarkLPSolve, BenchmarkMIPNode (1 iteration)"
+go test -run '^$' -bench 'BenchmarkLPSolve|BenchmarkMIPNode' -benchtime 1x .
+
+echo "== solver experiment -> ${outdir}/BENCH_solver.json"
+go run ./cmd/mbsp-bench -experiment solver -dataset tiny -timeout 10s \
+    -json "${outdir}/BENCH_solver.json"
+
+echo "bench: OK"

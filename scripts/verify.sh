@@ -5,11 +5,18 @@
 #
 #   1. go build ./...
 #   2. go vet ./...
-#   3. go test -race ./...
+#   3. go test -race ./...  (includes the solver cross-check tests: the
+#      sparse/warm-started simplex against the dense cold-start
+#      reference, and the GOMAXPROCS/worker-count determinism suite)
 #   4. a short benchmark smoke: the portfolio experiment on the tiny
 #      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
 #      timing per instance) so the portfolio's performance trajectory is
-#      comparable across PRs.
+#      comparable across PRs;
+#   5. the solver bench smoke (scripts/bench.sh): micro-benchmarks plus
+#      the solver experiment emitting BENCH_solver.json — it exits
+#      nonzero on warm/cold solver divergence or if the warm-started
+#      path stops beating the cold path, so solver regressions fail the
+#      gate.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,5 +37,8 @@ go test -run '^$' -bench '^BenchmarkPortfolio$' -benchtime 1x .
 echo "== portfolio experiment -> ${outdir}/BENCH_portfolio.json"
 go run ./cmd/mbsp-bench -experiment portfolio -dataset tiny \
     -timeout 200ms -budget 300 -json "${outdir}/BENCH_portfolio.json"
+
+echo "== solver bench -> ${outdir}/BENCH_solver.json"
+sh scripts/bench.sh "${outdir}"
 
 echo "verify: OK"
