@@ -5,23 +5,30 @@
 //
 //	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio|solver]
 //	           [-dataset tiny|paper-tiny|paper-small] [-timeout 2s] [-budget 2000]
-//	           [-workers 0] [-incumbent] [-csv out.csv] [-json out.json]
+//	           [-workers 0] [-mip-workers 0] [-incumbent]
+//	           [-csv out.csv] [-json out.json] [-baseline old.json]
 //
 // The experiment grid (instances × methods) runs concurrently over
 // -workers goroutines (0: GOMAXPROCS) with deterministic, ordered result
 // collection; the default is sequential because concurrent solvers share
 // the wall clock, making time-limited ILP numbers incomparable with
-// sequential runs. The portfolio experiment races every applicable scheduler
+// sequential runs. -mip-workers additionally parallelizes the node
+// relaxations *inside* each branch-and-bound tree; unlike -workers it
+// never changes any result (deterministic node accounting in the
+// solver). The portfolio experiment races every applicable scheduler
 // per instance and reports per-scheduler cost/timing; -json writes its
 // results as JSON (scripts/verify.sh tracks BENCH_portfolio.json across
 // PRs). The solver experiment measures the warm-started solver core:
 // total simplex iterations across the branch-and-bound trees the
 // registry workloads search, warm-started versus cold-started, failing
-// if the warm path stops winning or proven-optimal results diverge
-// (scripts/bench.sh tracks BENCH_solver.json). Budgets default to
-// second-scale runs; raise -timeout and -budget (and use -dataset
-// paper-tiny or paper-small) for runs closer to the paper's 60-minute
-// solver budget.
+// if the warm path stops winning or proven-optimal results diverge — and
+// the parallel engine: the same trees re-searched serially versus with a
+// -mip-workers pool (default 4), failing on any divergence in partition,
+// node count or iteration count, and on a node-throughput regression
+// against -baseline (scripts/bench.sh tracks BENCH_solver.json). Budgets
+// default to second-scale runs; raise -timeout and -budget (and use
+// -dataset paper-tiny or paper-small) for runs closer to the paper's
+// 60-minute solver budget.
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"slices"
 	"time"
 
 	"mbsp/internal/experiments"
@@ -46,9 +55,11 @@ func main() {
 		budget    = flag.Int("budget", 2000, "local-search evaluation budget")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 1, "concurrent grid cells / portfolio schedulers (0: GOMAXPROCS); default sequential — concurrent solvers share the wall clock, so parallel table numbers are not comparable with sequential runs")
+		mipWork   = flag.Int("mip-workers", 0, "worker pool size inside each branch-and-bound tree; never changes results (0: serial for the grid, automatic budget for portfolio, 4 for the solver experiment's parallel leg)")
 		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
 		csvOut    = flag.String("csv", "", "also write the last table as CSV to this file")
 		jsonOut   = flag.String("json", "", "write portfolio/solver experiment results as JSON to this file")
+		baseline  = flag.String("baseline", "", "previous solver-experiment JSON: fail if the parallel node-throughput speedup regresses against it")
 	)
 	flag.Parse()
 
@@ -57,6 +68,7 @@ func main() {
 	cfg.LocalSearchBudget = *budget
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.MIPWorkers = *mipWork
 
 	var insts []workloads.Instance
 	switch *dataset {
@@ -107,9 +119,9 @@ func main() {
 	case "p1":
 		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
 	case "portfolio":
-		runPortfolio(insts, cfg, *dataset, *workers, *incumbent, *jsonOut)
+		runPortfolio(insts, cfg, *dataset, *workers, *mipWork, *incumbent, *jsonOut)
 	case "solver":
-		runSolver(insts, *dataset, *timeout, *jsonOut)
+		runSolver(insts, *dataset, *timeout, *mipWork, *jsonOut, *baseline)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -179,7 +191,7 @@ type portfolioCandsJSON struct {
 
 // runPortfolio races the full scheduler portfolio on every instance and
 // reports per-scheduler cost and timing plus the win distribution.
-func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers int, incumbent bool, jsonPath string) {
+func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers, mipWorkers int, incumbent bool, jsonPath string) {
 	start := time.Now()
 	out := portfolioJSON{
 		Dataset:      dataset,
@@ -193,6 +205,7 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 		res, err := portfolio.Run(context.Background(), inst.DAG, arch, portfolio.Options{
 			Model:                  cfg.Model,
 			Workers:                workers,
+			MIPWorkers:             mipWorkers,
 			ILPTimeLimit:           cfg.ILPTimeLimit,
 			LocalSearchBudget:      cfg.LocalSearchBudget,
 			Seed:                   cfg.Seed,
@@ -241,18 +254,28 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 // solverJSON is the schema of the solver experiment's -json output
 // (scripts/bench.sh tracks BENCH_solver.json across PRs): total simplex
 // iterations across the branch-and-bound trees the dataset's workloads
-// search, with the warm-started dual-simplex path versus the cold-start
-// ablation.
+// search — the warm-started dual-simplex path versus the cold-start
+// ablation — plus the parallel tree-search leg: the same trees searched
+// serially versus with a bounded worker pool, which must agree node for
+// node (deterministic node accounting) while lifting node throughput.
 type solverJSON struct {
-	Dataset        string               `json:"dataset"`
-	WarmIters      int                  `json:"warm_simplex_iters"`
-	ColdIters      int                  `json:"cold_simplex_iters"`
-	SpeedupIters   float64              `json:"iteration_speedup"`
-	WarmSeconds    float64              `json:"warm_seconds"`
-	ColdSeconds    float64              `json:"cold_seconds"`
-	WarmLPs        int                  `json:"warm_lps"`
-	ColdRestartLPs int                  `json:"cold_restart_lps"`
-	Instances      []solverInstanceJSON `json:"instances"`
+	Dataset                string               `json:"dataset"`
+	WarmIters              int                  `json:"warm_simplex_iters"`
+	ColdIters              int                  `json:"cold_simplex_iters"`
+	SpeedupIters           float64              `json:"iteration_speedup"`
+	WarmSeconds            float64              `json:"warm_seconds"`
+	ColdSeconds            float64              `json:"cold_seconds"`
+	WarmLPs                int                  `json:"warm_lps"`
+	ColdRestartLPs         int                  `json:"cold_restart_lps"`
+	GoMaxProcs             int                  `json:"gomaxprocs"`
+	ParallelWorkers        int                  `json:"parallel_workers"`
+	BBNodes                int                  `json:"bb_nodes"`
+	SerialSeconds          float64              `json:"serial_seconds"`
+	ParallelSeconds        float64              `json:"parallel_seconds"`
+	SerialNodeThroughput   float64              `json:"serial_node_throughput"`
+	ParallelNodeThroughput float64              `json:"parallel_node_throughput"`
+	ParallelSpeedup        float64              `json:"parallel_speedup"`
+	Instances              []solverInstanceJSON `json:"instances"`
 }
 
 type solverInstanceJSON struct {
@@ -264,19 +287,34 @@ type solverInstanceJSON struct {
 	WarmCut   int     `json:"warm_cut"`
 	ColdCut   int     `json:"cold_cut"`
 	Optimal   bool    `json:"both_proven_optimal"`
+	// Parallel leg: identical trees by construction, so only size and
+	// timing are recorded.
+	BBNodes         int     `json:"bb_nodes"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
 // runSolver measures the warm-started solver core on the branch-and-bound
 // trees the dataset's workloads actually search — the DnC partitioning
 // ILPs — and cross-checks the two paths: proven-optimal cut sizes must
-// agree, and the warm path must use fewer total simplex iterations. Any
+// agree, and the warm path must use fewer total simplex iterations. It
+// then re-searches the same trees with a parallel worker pool, using the
+// warm leg — which is exactly the serial engine — as the baseline: the
+// two runs must agree bit for bit (partition, node count, iteration
+// count — the deterministic-node-accounting gate), and the parallel
+// run's node throughput is recorded and compared against -baseline. Any
 // divergence or regression exits nonzero, so scripts/verify.sh can gate
 // on it.
-func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration, jsonPath string) {
-	out := solverJSON{Dataset: dataset}
+func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration, mipWorkers int, jsonPath, baselinePath string) {
+	if mipWorkers <= 0 {
+		mipWorkers = 4
+	}
+	out := solverJSON{Dataset: dataset, GoMaxProcs: runtime.GOMAXPROCS(0), ParallelWorkers: mipWorkers}
 	fmt.Println("Solver core: warm-started vs cold-started branch and bound")
 	fmt.Printf("%-20s%6s%12s%12s%8s%10s\n", "Instance", "n", "warm-iters", "cold-iters", "ratio", "cut w/c")
 	diverged := false
+	parDiverged := false
 	// The regression gate only compares instances both paths solved to
 	// proven optimality: a TimeLimit-truncated run reports a truncated
 	// iteration count for a different tree, which would make the
@@ -288,13 +326,14 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 		}
 		var warmStats, coldStats partition.SolverStats
 		warmStart := time.Now()
-		_, warmCut, warmOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
+		warmPart, warmCut, warmOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
 			TimeLimit: timeout, Stats: &warmStats,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("solver experiment on %s (warm): %w", inst.Name, err))
 		}
-		out.WarmSeconds += time.Since(warmStart).Seconds()
+		warmElapsed := time.Since(warmStart)
+		out.WarmSeconds += warmElapsed.Seconds()
 		coldStart := time.Now()
 		_, coldCut, coldOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
 			TimeLimit: timeout, ColdStartLP: true, Stats: &coldStats,
@@ -319,6 +358,51 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 			gateWarm += entry.WarmIters
 			gateCold += entry.ColdIters
 		}
+
+		// Parallel leg: the warm run above already *is* the serial engine
+		// (Workers≤1, warm-started, node-limit bound), so it doubles as
+		// the serial baseline — only the worker-pool run re-searches the
+		// tree, under the same -timeout wall clock (the default node
+		// limit is what binds deterministically; the clock is a
+		// backstop). Everything the two searches report must agree
+		// exactly — unless a leg actually ran into the clock, in which
+		// case the trees were cut at nondeterministic wall-clock points
+		// and comparing them would misreport the documented time-cut
+		// nondeterminism as a node-accounting bug.
+		var parStats partition.SolverStats
+		parStart := time.Now()
+		parPart, parCut, parOpt, err := partition.Bipartition(inst.DAG, partition.BipartitionOptions{
+			TimeLimit: timeout, Workers: mipWorkers, Stats: &parStats,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("solver experiment on %s (parallel): %w", inst.Name, err))
+		}
+		parElapsed := time.Since(parStart)
+		entry.SerialSeconds = warmElapsed.Seconds()
+		entry.ParallelSeconds = parElapsed.Seconds()
+		entry.BBNodes = warmStats.Nodes
+		if entry.ParallelSeconds > 0 {
+			entry.ParallelSpeedup = entry.SerialSeconds / entry.ParallelSeconds
+		}
+		if clockCut := timeout * 9 / 10; warmElapsed > clockCut || parElapsed > clockCut {
+			// The two legs searched different, wall-clock-cut trees:
+			// neither the divergence check nor the throughput totals (the
+			// speedup gates' input) can use this instance.
+			fmt.Printf("  note: %s ran into the %s wall-clock backstop, divergence check and throughput totals skip it (time cuts are nondeterministic by contract)\n",
+				inst.Name, timeout)
+		} else {
+			out.BBNodes += warmStats.Nodes
+			out.SerialSeconds += entry.SerialSeconds
+			out.ParallelSeconds += entry.ParallelSeconds
+			if !slices.Equal(warmPart, parPart) || warmCut != parCut || warmOpt != parOpt ||
+				warmStats != parStats {
+				fmt.Printf("  PARALLEL DIVERGENCE: serial cut=%d nodes=%d iters=%d vs %d-worker cut=%d nodes=%d iters=%d\n",
+					warmCut, warmStats.Nodes, warmStats.SimplexIters,
+					mipWorkers, parCut, parStats.Nodes, parStats.SimplexIters)
+				parDiverged = true
+			}
+		}
+
 		out.Instances = append(out.Instances, entry)
 		fmt.Printf("%-20s%6d%12d%12d%8.2f%7d/%d\n",
 			inst.Name, entry.Nodes, entry.WarmIters, entry.ColdIters, entry.Ratio, warmCut, coldCut)
@@ -333,9 +417,65 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 	if out.WarmIters > 0 {
 		out.SpeedupIters = float64(out.ColdIters) / float64(out.WarmIters)
 	}
+	if out.SerialSeconds > 0 {
+		out.SerialNodeThroughput = float64(out.BBNodes) / out.SerialSeconds
+	}
+	if out.ParallelSeconds > 0 {
+		out.ParallelNodeThroughput = float64(out.BBNodes) / out.ParallelSeconds
+		out.ParallelSpeedup = out.SerialSeconds / out.ParallelSeconds
+	}
 	fmt.Printf("total: warm=%d cold=%d simplex iterations (%.2fx fewer), warm %.2fs vs cold %.2fs\n",
 		out.WarmIters, out.ColdIters, out.SpeedupIters, out.WarmSeconds, out.ColdSeconds)
+	fmt.Printf("parallel: %d B&B nodes per tree set, serial %.2fs (%.0f nodes/s) vs %d workers %.2fs (%.0f nodes/s): %.2fx node throughput on GOMAXPROCS=%d\n",
+		out.BBNodes, out.SerialSeconds, out.SerialNodeThroughput,
+		out.ParallelWorkers, out.ParallelSeconds, out.ParallelNodeThroughput,
+		out.ParallelSpeedup, out.GoMaxProcs)
 
+	if diverged {
+		fatal(fmt.Errorf("solver experiment: warm/cold divergence on proven-optimal instances"))
+	}
+	if parDiverged {
+		fatal(fmt.Errorf("solver experiment: Workers=%d output diverged from Workers=1 — deterministic node accounting is broken", mipWorkers))
+	}
+	if gateCold > 0 && gateWarm >= gateCold {
+		fatal(fmt.Errorf("solver experiment: warm path used %d iterations vs %d cold on proven-optimal instances — warm start regressed",
+			gateWarm, gateCold))
+	}
+	// Throughput gates. Wall-clock speedup needs real CPUs — on a runtime
+	// narrower than the pool the parallel leg still proves determinism,
+	// but a speedup gate would only measure scheduler overhead — and a
+	// workload big enough to amortize per-wave spawn/join overhead, so
+	// the absolute gate arms only when both hold; below the workload
+	// floor (the tiny dataset's trees are ~10 nodes each, and even many
+	// nodes searched in under two seconds are noise-dominated) a weak
+	// speedup is reported loudly but the hard gate is the
+	// baseline-relative regression check below.
+	switch {
+	case out.GoMaxProcs < 4:
+		fmt.Printf("note: GOMAXPROCS=%d < 4, absolute speedup gate skipped (determinism gate still enforced)\n", out.GoMaxProcs)
+	case out.SerialSeconds < 2 || out.BBNodes < 5000:
+		if out.ParallelSpeedup < 1.5 {
+			fmt.Printf("warning: %d workers lifted node throughput only %.2fx on a %d-wide runtime — workload too small (%d nodes, %.2fs serial) for the absolute gate\n",
+				out.ParallelWorkers, out.ParallelSpeedup, out.GoMaxProcs, out.BBNodes, out.SerialSeconds)
+		}
+	case out.ParallelSpeedup < 1.5:
+		fatal(fmt.Errorf("solver experiment: %d workers lifted node throughput only %.2fx on a %d-wide runtime — parallel tree search regressed",
+			out.ParallelWorkers, out.ParallelSpeedup, out.GoMaxProcs))
+	}
+	if baselinePath != "" {
+		if prev, err := readSolverBaseline(baselinePath); err != nil {
+			fmt.Printf("note: baseline %s not comparable: %v\n", baselinePath, err)
+		} else if prev.ParallelSpeedup > 0 && out.ParallelSpeedup > 0 &&
+			prev.GoMaxProcs == out.GoMaxProcs && prev.Dataset == out.Dataset &&
+			prev.ParallelWorkers == out.ParallelWorkers &&
+			out.ParallelSpeedup < 0.6*prev.ParallelSpeedup {
+			fatal(fmt.Errorf("solver experiment: parallel node-throughput speedup regressed: %.2fx vs %.2fx in %s",
+				out.ParallelSpeedup, prev.ParallelSpeedup, baselinePath))
+		}
+	}
+	// The JSON lands only after every gate passed: a failing run must not
+	// overwrite the tracked file, or rerunning the bench would compare
+	// the regression against itself and wave it through.
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
 		if err != nil {
@@ -349,13 +489,20 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 		}
 		fmt.Println("wrote", jsonPath)
 	}
-	if diverged {
-		fatal(fmt.Errorf("solver experiment: warm/cold divergence on proven-optimal instances"))
+}
+
+// readSolverBaseline parses a previous solver-experiment JSON for the
+// regression gate.
+func readSolverBaseline(path string) (solverJSON, error) {
+	var prev solverJSON
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return prev, err
 	}
-	if gateCold > 0 && gateWarm >= gateCold {
-		fatal(fmt.Errorf("solver experiment: warm path used %d iterations vs %d cold on proven-optimal instances — warm start regressed",
-			gateWarm, gateCold))
+	if err := json.Unmarshal(b, &prev); err != nil {
+		return prev, err
 	}
+	return prev, nil
 }
 
 func fatal(err error) {

@@ -5,7 +5,8 @@
 //
 //	mbsp-sched -dag file.dag | -instance spmv_N6
 //	           [-method base|cilk|ilp|dnc|exact]
-//	           [-portfolio] [-workers 0] [-incumbent] [-solver-stats]
+//	           [-portfolio] [-workers 0] [-mip-workers 0]
+//	           [-incumbent] [-solver-stats]
 //	           [-p 4] [-rfactor 3] [-r 0] [-g 1] [-l 10]
 //	           [-model sync|async] [-timeout 5s] [-print]
 //
@@ -14,7 +15,12 @@
 // then ignored. -incumbent (default on) shares a portfolio-wide bound so
 // losing candidates cut off early; -solver-stats prints the solver-core
 // counters (simplex iterations, warm vs cold LP re-solves) for the
-// ILP-based methods. The DAG comes either from a text file (see
+// ILP-based methods. -mip-workers sizes the worker pool *inside* each
+// branch-and-bound tree (parallel node relaxations): schedules are
+// byte-identical for any value thanks to the solver's deterministic node
+// accounting, so the knob trades goroutines for throughput only. 0 picks
+// GOMAXPROCS for -method ilp/dnc and an automatic candidate/tree split
+// under -portfolio. The DAG comes either from a text file (see
 // internal/graph format) or from a named benchmark instance.
 package main
 
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mbsp"
@@ -44,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for heuristics")
 		pfolio    = flag.Bool("portfolio", false, "race all applicable schedulers concurrently and keep the best")
 		workers   = flag.Int("workers", 0, "portfolio worker pool size (0: GOMAXPROCS)")
+		mipWork   = flag.Int("mip-workers", 0, "worker pool size inside each branch-and-bound tree; results are identical for any value (0: GOMAXPROCS for -method ilp/dnc, automatic budget under -portfolio)")
 		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
 		solvStats = flag.Bool("solver-stats", false, "print solver-core counters (simplex iterations, warm/cold LP re-solves) for ILP-based methods")
 	)
@@ -70,6 +78,7 @@ func main() {
 		res, perr := mbsp.SchedulePortfolio(context.Background(), g, arch, mbsp.PortfolioOptions{
 			Model:                  costModel,
 			Workers:                *workers,
+			MIPWorkers:             *mipWork,
 			ILPTimeLimit:           *timeout,
 			Seed:                   *seed,
 			DisableSharedIncumbent: !*incumbent,
@@ -93,7 +102,11 @@ func main() {
 		}
 		s = res.Best
 	} else {
-		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed, *solvStats)
+		mw := *mipWork
+		if mw == 0 {
+			mw = runtime.GOMAXPROCS(0)
+		}
+		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed, mw, *solvStats)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,7 +124,7 @@ func main() {
 	}
 }
 
-func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64, solvStats bool) (*mbsp.Schedule, error) {
+func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64, mipWorkers int, solvStats bool) (*mbsp.Schedule, error) {
 	var s *mbsp.Schedule
 	var err error
 	switch method {
@@ -122,7 +135,7 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 	case "ilp":
 		var stats mbsp.ILPStats
 		s, stats, err = mbsp.ScheduleILP(g, arch, mbsp.ILPOptions{
-			Model: costModel, TimeLimit: timeout, Seed: seed,
+			Model: costModel, TimeLimit: timeout, Seed: seed, MIPWorkers: mipWorkers,
 		})
 		if err == nil {
 			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
@@ -136,7 +149,7 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 	case "dnc":
 		var stats mbsp.DNCStats
 		s, stats, err = mbsp.ScheduleDNC(g, arch, mbsp.DNCOptions{
-			Model: costModel, SubTimeLimit: timeout, Seed: seed,
+			Model: costModel, SubTimeLimit: timeout, Seed: seed, MIPWorkers: mipWorkers,
 		})
 		if err == nil {
 			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",

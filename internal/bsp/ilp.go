@@ -15,6 +15,10 @@ type ILPOptions struct {
 	Steps     int           // superstep horizon; 0 derives it from the BSPg warm start
 	TimeLimit time.Duration // default 10s
 	NodeLimit int           // default 3000
+	// Workers bounds the goroutines solving branch-and-bound node
+	// relaxations concurrently (mip.Options.Workers); the schedule is
+	// identical for any value. Default 1.
+	Workers int
 	// MaxModelRows falls back to the BSPg schedule when the model would
 	// exceed this many rows. Default 2600.
 	MaxModelRows int
@@ -236,7 +240,10 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 		}
 	}
 
-	res := m.Solve(mip.Options{TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit, WarmStart: ws})
+	res := m.Solve(mip.Options{
+		TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit,
+		WarmStart: ws, Workers: opts.Workers,
+	})
 	if res.X == nil {
 		return warm
 	}

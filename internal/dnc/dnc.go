@@ -67,6 +67,12 @@ type Options struct {
 	PartitionNodeLimit int
 	// GreedyPartition switches to the heuristic partitioner (ablation).
 	GreedyPartition bool
+	// MIPWorkers bounds the relaxation-solving worker pool of every
+	// branch-and-bound tree this run searches — the bipartition ILPs of
+	// the partitioning stage and each part's scheduling sub-ILP. The
+	// schedule is identical for any value (deterministic node
+	// accounting), so the knob only trades goroutines for throughput.
+	MIPWorkers int
 	// LocalSearchBudget for each sub-ILP's primal heuristic.
 	LocalSearchBudget int
 	// Incumbent, when non-nil, is the portfolio-wide shared bound on the
@@ -134,6 +140,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		UseILP:      !opts.GreedyPartition,
 		TimeLimit:   opts.PartitionTimeLimit,
 		NodeLimit:   opts.PartitionNodeLimit,
+		Workers:     opts.MIPWorkers,
 	})
 	if err != nil {
 		return nil, stats, fmt.Errorf("dnc: partitioning: %w", err)
@@ -263,6 +270,13 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 	if err != nil {
 		return nil, fmt.Errorf("sub-baseline: %w", err)
 	}
+	if len(warm.Steps) == 0 {
+		// Every node of the part is a global source (already blue) and
+		// nothing needs saving: the empty subschedule is optimal, and the
+		// sub-ILP cannot warm-start from zero supersteps. Wall-clock
+		// partition budgets can produce such parts.
+		return mbsp.NewSchedule(g, arch), nil
+	}
 
 	subSched, subStats, err := ilpsched.Solve(sub, arch, ilpsched.Options{
 		Context:           opts.Context,
@@ -271,6 +285,7 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 		NeedBlue:          needBlue,
 		TimeLimit:         opts.SubTimeLimit,
 		NodeLimit:         opts.SubNodeLimit,
+		MIPWorkers:        opts.MIPWorkers,
 		LocalSearchBudget: opts.LocalSearchBudget,
 		Seed:              opts.Seed + int64(k),
 		Logf:              opts.Logf,

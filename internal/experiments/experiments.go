@@ -45,6 +45,10 @@ type Config struct {
 	// Results are collected in grid order, so for deterministic methods
 	// the rendered table is identical for any worker count.
 	Workers int
+	// MIPWorkers bounds the relaxation-solving worker pool inside each
+	// ILP method's branch-and-bound trees; results are identical for any
+	// value (deterministic node accounting in package mip). Default 1.
+	MIPWorkers int
 }
 
 // Base returns the paper's main configuration (P=4, r=3·r0, g=1, L=10,
@@ -131,6 +135,7 @@ func ILPMethod() Method {
 		s, _, err := ilpsched.Solve(g, arch, ilpsched.Options{
 			Model:             cfg.Model,
 			TimeLimit:         cfg.ILPTimeLimit,
+			MIPWorkers:        cfg.MIPWorkers,
 			LocalSearchBudget: cfg.LocalSearchBudget,
 			Seed:              cfg.Seed,
 		})
@@ -150,7 +155,7 @@ func CilkLRUMethod() Method {
 func BSPILPBaseline() Method {
 	return Method{Name: "bsp-ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
 		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
-			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit,
+			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit, Workers: cfg.MIPWorkers,
 		})
 		return twostage.Convert(b, arch, memmgr.Clairvoyant{})
 	}}
@@ -160,7 +165,7 @@ func BSPILPBaseline() Method {
 func BSPILPPlusILP() Method {
 	return Method{Name: "bsp-ilp+ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
 		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
-			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit,
+			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit, Workers: cfg.MIPWorkers,
 		})
 		warm, err := twostage.Convert(b, arch, memmgr.Clairvoyant{})
 		if err != nil {
@@ -170,6 +175,7 @@ func BSPILPPlusILP() Method {
 			Model:             cfg.Model,
 			WarmStart:         warm,
 			TimeLimit:         cfg.ILPTimeLimit,
+			MIPWorkers:        cfg.MIPWorkers,
 			LocalSearchBudget: cfg.LocalSearchBudget,
 			Seed:              cfg.Seed,
 		})

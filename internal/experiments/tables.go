@@ -67,6 +67,7 @@ func DNCMethod(maxPart int, subLimit time.Duration) Method {
 			Model:             cfg.Model,
 			MaxPartSize:       maxPart,
 			SubTimeLimit:      subLimit,
+			MIPWorkers:        cfg.MIPWorkers,
 			LocalSearchBudget: cfg.LocalSearchBudget / 4,
 			Seed:              cfg.Seed,
 		})

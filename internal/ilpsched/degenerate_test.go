@@ -1,0 +1,62 @@
+package ilpsched
+
+import (
+	"testing"
+	"time"
+
+	"mbsp/internal/mbsp"
+	"mbsp/internal/workloads"
+)
+
+// TestDegenerateSchedulingModelStallCeiling pins the ROADMAP open item —
+// dual-simplex stalls on the massively degenerate scheduling models — as
+// a committed baseline. The P=1 k-means scheduling ILP is the grinding
+// case: its relaxations are so degenerate that a large fraction of warm
+// dual re-solves exhaust their pivot budget and fall back to cold solves,
+// burning thousands of simplex iterations across a handful of nodes
+// (measured at this budget: ~4.4k iterations over 20 nodes, 6 of 20
+// relaxations falling back cold).
+//
+// The assertions are ceilings at ~1.6× the measured values: future
+// anti-degeneracy work (Harris ratio test, bound perturbation) must
+// *lower* them — and can then tighten the ceilings — while any change
+// that silently worsens the stall fails here first. The node limit binds
+// (the time limit is a generous backstop), so the counts are
+// deterministic.
+func TestDegenerateSchedulingModelStallCeiling(t *testing.T) {
+	inst, err := workloads.ByName("k-means")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 1, R: 3 * inst.DAG.MinCache(), G: 1, L: 10}
+	_, stats, err := Solve(inst.DAG, arch, Options{
+		Model:             mbsp.Sync,
+		TimeLimit:         2 * time.Minute,
+		NodeLimit:         20,
+		LocalSearchBudget: 1,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.UsedILP {
+		t.Fatalf("fixture no longer enters the tree search (rows=%d)", stats.ModelRows)
+	}
+	const (
+		iterCeiling = 7000 // measured: 4359
+		coldCeiling = 10   // measured: 6 of 20 relaxations fell back cold
+	)
+	if stats.SimplexIters > iterCeiling {
+		t.Fatalf("degenerate stall worsened: %d simplex iterations over %d nodes (ceiling %d)",
+			stats.SimplexIters, stats.ILPNodes, iterCeiling)
+	}
+	if stats.ColdLPs > coldCeiling {
+		t.Fatalf("more warm re-solves stall out: %d cold fallbacks of %d nodes (ceiling %d)",
+			stats.ColdLPs, stats.ILPNodes, coldCeiling)
+	}
+	if stats.WarmLPs <= stats.ColdLPs {
+		t.Fatalf("warm re-solves no longer dominate: %d warm vs %d cold", stats.WarmLPs, stats.ColdLPs)
+	}
+	t.Logf("stall baseline: %d iters, %d nodes, warm/cold=%d/%d",
+		stats.SimplexIters, stats.ILPNodes, stats.WarmLPs, stats.ColdLPs)
+}

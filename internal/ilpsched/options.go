@@ -82,6 +82,11 @@ type Options struct {
 	// Boundary conditions for divide-and-conquer subproblems.
 	InitialRed [][]int // per processor, nodes red at step 0
 	NeedBlue   []int   // nodes (besides sinks) that must be blue at the end
+	// MIPWorkers bounds the goroutines solving branch-and-bound node
+	// relaxations concurrently (mip.Options.Workers). The solver's
+	// deterministic node accounting makes the schedule identical for any
+	// value, so callers size it purely for throughput. Default 1.
+	MIPWorkers int
 	// LPColdStart disables the warm-started dual re-solves inside the
 	// branch-and-bound tree (every node cold-starts); LPReference
 	// additionally routes each relaxation through the preserved dense

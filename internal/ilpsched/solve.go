@@ -80,6 +80,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			WarmStart:       x,
 			Logf:            opts.Logf,
 			Cancel:          done,
+			Workers:         opts.MIPWorkers,
 			ColdStart:       opts.LPColdStart,
 			ReferenceLP:     opts.LPReference,
 			SharedIncumbent: opts.Incumbent,

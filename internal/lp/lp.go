@@ -150,6 +150,15 @@ type Options struct {
 	// RefactorEvery rebuilds the basis inverse from scratch after this
 	// many pivots to bound numerical drift (default 128).
 	RefactorEvery int
+	// FreshFactor forces SolveFrom to refactorize from the basis snapshot
+	// even when the snapshot matches the instance's live factorization.
+	// The live factorization carries product-form pivot updates whose
+	// rounding depends on the instance's solve history, so skipping the
+	// hot path makes a SolveFrom result a pure function of (matrix, basis,
+	// bounds). The parallel branch-and-bound sets it so a node relaxation
+	// solves to the same bits on every worker instance, for any worker
+	// count.
+	FreshFactor bool
 }
 
 const defaultEps = 1e-7

@@ -144,7 +144,7 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 		return res
 	}
 	s := in.workspace(&opts)
-	hot := basis == s.lastBasis && s.factorOK
+	hot := !opts.FreshFactor && basis == s.lastBasis && s.factorOK
 	s.lastBasis = nil
 	if !s.resetBounds(lb, ub) {
 		return Result{Status: Infeasible}

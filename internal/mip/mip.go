@@ -1,16 +1,22 @@
 // Package mip implements a mixed-integer linear programming solver: a
 // model builder over package lp plus LP-relaxation branch-and-bound with
-// depth-first diving, most-fractional branching, warm-start incumbents
-// and time limits. It stands in for the commercial MILP solver used by
-// the paper (see DESIGN.md).
+// best-bound node selection, most-fractional branching, warm-start
+// incumbents and time limits. It stands in for the commercial MILP
+// solver used by the paper (see DESIGN.md).
 //
 // The search re-solves LPs warm: the constraint matrix is prepared once
-// (lp.Prepare), every node threads its parent's optimal basis down the
-// tree, and child relaxations — which differ from the parent by a single
-// variable bound — are dual-reoptimized with lp.SolveFrom in a handful
-// of iterations instead of a cold phase-1 start. An optional shared
-// Incumbent lets concurrent solves of the same objective prune each
-// other's trees.
+// (lp.Prepare), every node carries its parent's optimal basis, and child
+// relaxations — which differ from the parent by a single variable bound
+// — are dual-reoptimized with lp.SolveFrom in a handful of iterations
+// instead of a cold phase-1 start. An optional shared Incumbent lets
+// concurrent solves of the same objective prune each other's trees.
+//
+// The tree search itself is parallel: Options.Workers goroutines solve
+// node relaxations pulled from a shared best-bound work queue, with
+// deterministic node accounting (creation-sequence budgets, serial wave
+// commits, sequence tie-breaking) making the reported solution and every
+// Result counter byte-identical for any worker count — see search.go and
+// DESIGN.md.
 package mip
 
 import (
@@ -165,14 +171,21 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
 
-// Result of a MIP solve.
+// Result of a MIP solve. Every counter is deterministic: for a fixed
+// model and options, runs with any Options.Workers value report the same
+// Nodes, LPs, iteration split and solution bytes (wall-clock limits
+// aside — see Options).
 type Result struct {
 	Status Status
 	Obj    float64
 	X      []float64
 	Bound  float64 // global dual (lower) bound on the optimum
-	Nodes  int
-	LPs    int
+	// Nodes counts tree nodes whose relaxation was solved and committed;
+	// the node *budget* (Options.NodeLimit) is charged against creation
+	// sequence numbers instead, so the two can differ once the limit
+	// truncates the tree.
+	Nodes int
+	LPs   int
 	// SimplexIters is the total simplex iteration count across every LP
 	// solved in the tree — the headline metric of the warm-start
 	// optimization (BENCH_solver.json tracks it).
@@ -193,6 +206,17 @@ type Options struct {
 	AbsGap     float64         // stop when incumbent − bound ≤ AbsGap (default 1e-6)
 	LPMaxIters int             // per-node LP iteration limit (0: lp default)
 	Cancel     <-chan struct{} // stop the search when closed, keeping the incumbent
+
+	// Workers bounds the goroutines concurrently solving node relaxations
+	// (default 1: the search runs entirely on the calling goroutine). The
+	// engine's deterministic node accounting makes the result — solution
+	// bytes, status, bound, and every counter — identical for any value,
+	// so callers can size the pool purely for throughput; see DESIGN.md.
+	// The effective pool is capped by the wave width and by a workspace
+	// memory budget on very large models. As before, wall-clock limits
+	// (TimeLimit, Cancel) cut nondeterministically: runs that must be
+	// reproducible should let NodeLimit bind instead.
+	Workers int
 
 	// SharedIncumbent, when non-nil, supplies an externally updated upper
 	// bound on the same objective: pruning tests against
@@ -218,15 +242,9 @@ type Options struct {
 	ReferenceLP bool
 }
 
-type node struct {
-	lb, ub []float64
-	depth  int
-	// basis is the parent relaxation's optimal basis; the child LP
-	// differs by one bound and dual-reoptimizes from it.
-	basis *lp.Basis
-}
-
-// Solve runs branch and bound, minimizing the model objective.
+// Solve runs branch and bound, minimizing the model objective. The
+// search is the deterministic parallel engine of search.go: identical
+// results for any Options.Workers value.
 func (m *Model) Solve(opts Options) Result {
 	if opts.TimeLimit == 0 {
 		opts.TimeLimit = 10 * time.Second
@@ -258,143 +276,37 @@ func (m *Model) Solve(opts Options) Result {
 		}
 	}
 
-	inst := lp.Prepare(m.prob)
-	root := &node{lb: append([]float64(nil), m.prob.Lb...), ub: append([]float64(nil), m.prob.Ub...)}
-	stack := []*node{root}
-	rootBound := math.Inf(-1)
-	rootSolved := false
-	// sharedCut records that some subtree was pruned only because of the
-	// shared bound: exhausting the stack then proves "nothing beats the
-	// shared bound" rather than own-incumbent optimality.
-	sharedCut := false
+	e := newEngine(m, &opts, &res, deadline, logf)
+	e.run()
 
-	for len(stack) > 0 {
-		if cancelled(opts.Cancel) || time.Now().After(deadline) || res.Nodes >= opts.NodeLimit {
-			if res.X != nil {
-				res.Status = Feasible
-			}
-			res.Bound = rootBound
-			return res
+	if e.aborted {
+		// Wall clock or cancellation cut the search: best-so-far
+		// semantics, as before.
+		if res.X != nil {
+			res.Status = Feasible
 		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.Nodes++
-
-		lpOpts := lp.Options{MaxIters: opts.LPMaxIters, Deadline: deadline, Cancel: opts.Cancel}
-		var lpRes lp.Result
-		switch {
-		case opts.ReferenceLP:
-			relax := &lp.Problem{Obj: m.prob.Obj, Lb: nd.lb, Ub: nd.ub, Rows: m.prob.Rows}
-			lpRes = lp.SolveDense(relax, lpOpts)
-			res.ColdLPs++
-		case nd.basis == nil || opts.ColdStart:
-			lpRes = inst.Solve(nd.lb, nd.ub, lpOpts)
-			res.ColdLPs++
-		default:
-			lpRes = inst.SolveFrom(nd.basis, nd.lb, nd.ub, lpOpts)
-			if lpRes.ColdRestart {
-				res.ColdLPs++
-			} else {
-				res.WarmLPs++
-			}
-		}
-		res.LPs++
-		res.SimplexIters += lpRes.Iters
-		if !rootSolved {
-			rootSolved = true
-			if lpRes.Status == lp.Optimal {
-				rootBound = lpRes.Obj
-			}
-		}
-		switch lpRes.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			// Integer restriction of an unbounded relaxation: give up on
-			// bounding; treat as no-prune and branch on nothing — the
-			// model author should bound the objective. Report via log.
-			logf("node %d: unbounded relaxation", res.Nodes)
-			continue
-		case lp.IterLimit:
-			logf("node %d: LP iteration limit", res.Nodes)
-			continue
-		}
-		cutoff := res.Obj
-		if v := opts.SharedIncumbent.Get(); v < cutoff {
-			cutoff = v
-		}
-		if lpRes.Obj >= cutoff-opts.AbsGap {
-			if lpRes.Obj < res.Obj-opts.AbsGap {
-				sharedCut = true // own incumbent alone would not have pruned
-			}
-			continue // pruned: provably not improving on the best known bound
-		}
-		// Find most fractional integer variable.
-		branch := -1
-		worst := opts.Eps
-		for j := range m.integer {
-			if !m.integer[j] {
-				continue
-			}
-			f := math.Abs(lpRes.X[j] - math.Round(lpRes.X[j]))
-			if f > worst {
-				worst = f
-				branch = j
-			}
-		}
-		if branch < 0 {
-			// Integral: new incumbent.
-			x := append([]float64(nil), lpRes.X...)
-			for j := range m.integer {
-				if m.integer[j] {
-					x[j] = math.Round(x[j])
-				}
-			}
-			obj := m.ObjValue(x)
-			if obj < res.Obj-1e-12 {
-				res.Obj = obj
-				res.X = x
-				res.Status = Feasible
-				logf("incumbent: obj=%g after %d nodes", obj, res.Nodes)
-				if opts.OnIncumbent != nil {
-					opts.OnIncumbent(x, obj)
-				}
-			}
-			continue
-		}
-		v := lpRes.X[branch]
-		floor, ceil := math.Floor(v), math.Ceil(v)
-		down := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1, basis: lpRes.Basis}
-		down.ub[branch] = floor
-		up := &node{lb: append([]float64(nil), nd.lb...), ub: append([]float64(nil), nd.ub...), depth: nd.depth + 1, basis: lpRes.Basis}
-		up.lb[branch] = ceil
-		// Dive toward the nearer integer first (pushed last = popped
-		// first).
-		if v-floor < ceil-v {
-			stack = append(stack, up, down)
-		} else {
-			stack = append(stack, down, up)
-		}
+		res.Bound = e.rootBound
+		return res
 	}
-
 	if res.X == nil {
-		if sharedCut {
-			// Every remaining subtree was dominated by a bound some other
-			// solver published — this search has no solution of its own,
-			// but the model is not proven infeasible.
+		if e.sharedCut || e.truncated {
+			// Either every remaining subtree was dominated by a bound some
+			// other solver published — this search has no solution of its
+			// own — or the node budget truncated the tree; in neither case
+			// is the model proven infeasible.
 			res.Status = NoSolution
-			res.Bound = rootBound
+			res.Bound = e.rootBound
 			return res
 		}
 		res.Status = Infeasible
 		res.Bound = math.Inf(1)
 		return res
 	}
-	if sharedCut {
-		// Completion proves "nothing beats the shared bound", not that
-		// the own incumbent is optimal.
+	if e.sharedCut || e.truncated {
+		// Completion proves "nothing beats the shared bound" (or the
+		// budget bound the tree), not that the own incumbent is optimal.
 		res.Status = Feasible
-		res.Bound = rootBound
+		res.Bound = e.rootBound
 		return res
 	}
 	res.Status = Optimal

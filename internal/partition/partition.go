@@ -25,6 +25,10 @@ type BipartitionOptions struct {
 	// ColdStartLP disables the warm-started dual re-solves inside the
 	// branch-and-bound tree (solver ablation benchmarks).
 	ColdStartLP bool
+	// Workers bounds the goroutines solving branch-and-bound node
+	// relaxations concurrently (mip.Options.Workers). The partition — and
+	// every solver counter — is identical for any value; see DESIGN.md.
+	Workers int
 	// Stats, when non-nil, accumulates solver counters across solves.
 	Stats *SolverStats
 }
@@ -140,7 +144,10 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 		}
 	}
 
-	res := m.Solve(mip.Options{TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit, WarmStart: ws, ColdStart: opts.ColdStartLP})
+	res := m.Solve(mip.Options{
+		TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit,
+		WarmStart: ws, ColdStart: opts.ColdStartLP, Workers: opts.Workers,
+	})
 	opts.Stats.add(res)
 	if res.X == nil {
 		return nil, 0, false, fmt.Errorf("partition: solver found no solution (%v)", res.Status)
@@ -217,6 +224,9 @@ type RecursiveOptions struct {
 	// ColdStartLP disables warm-started dual re-solves in the bipartition
 	// trees (solver ablation benchmarks).
 	ColdStartLP bool
+	// Workers bounds each bipartition tree's relaxation-solving worker
+	// pool; the partitioning is identical for any value.
+	Workers     int
 	greedyForce bool
 }
 
@@ -263,7 +273,7 @@ func Recursive(g *graph.DAG, opts RecursiveOptions) (Result, error) {
 			p, _, opt, err := Bipartition(sub, BipartitionOptions{
 				MinFraction: opts.MinFraction, TimeLimit: opts.TimeLimit,
 				NodeLimit: opts.NodeLimit, ColdStartLP: opts.ColdStartLP,
-				Stats: &res.Solver,
+				Workers: opts.Workers, Stats: &res.Solver,
 			})
 			res.ILPSolves++
 			if err == nil {

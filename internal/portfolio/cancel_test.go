@@ -126,6 +126,58 @@ func TestPortfolioCancelStopsILP(t *testing.T) {
 	waitForGoroutines(t, base)
 }
 
+// TestPortfolioCancelMidTreeParallel cancels a run whose ILP candidate is
+// searching its tree with a multi-worker relaxation pool: the wave
+// workers inside the branch-and-bound engine must notice the cancel, the
+// candidate must still return its best-so-far schedule, and — the
+// goroutine-leak coverage this test exists for — no tree-level worker may
+// outlive the run. The pre-parallel suite only ever cancelled serial
+// trees, so a leaked wave worker (blocked in an LP solve that ignores the
+// cancel, or a wave that never joins) went unobserved.
+func TestPortfolioCancelMidTreeParallel(t *testing.T) {
+	// P=1 k-means: the grinding scheduling ILP whose node relaxations run
+	// long enough that the cancel reliably strikes mid-wave.
+	inst, err := workloads.ByName("k-means")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := mbsp.Arch{P: 1, R: 3 * inst.DAG.MinCache(), G: 1, L: 10}
+	opts := testOpts()
+	opts.ILPTimeLimit = time.Minute
+	opts.ILPNodeLimit = 1 << 30
+	opts.MIPWorkers = 4
+	opts.Candidates = []Candidate{ILPCandidate()}
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(150*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	start := time.Now()
+	res, err := Run(ctx, inst.DAG, arch, opts)
+	elapsed := time.Since(start)
+	if elapsed > 15*time.Second {
+		t.Fatalf("Run took %v after cancellation — parallel tree search ignored the cancel", elapsed)
+	}
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("Run finished in %v, before the cancel even fired — not a mid-tree cancel", elapsed)
+	}
+	if !res.Interrupted {
+		t.Fatal("result not marked interrupted")
+	}
+	if err != nil {
+		if !errors.Is(err, ErrNoSchedule) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	} else if verr := res.Best.Validate(); verr != nil {
+		t.Fatalf("best-so-far schedule invalid: %v", verr)
+	}
+	// The leak assertion: candidate workers AND the mip wave workers must
+	// all be gone.
+	waitForGoroutines(t, base)
+}
+
 // TestPortfolioPreCancelled runs with an already-cancelled context: no
 // candidate may execute, and the error must wrap ErrNoSchedule.
 func TestPortfolioPreCancelled(t *testing.T) {

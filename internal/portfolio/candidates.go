@@ -117,6 +117,7 @@ func ILPCandidate() Candidate {
 			Model:             opts.Model,
 			TimeLimit:         opts.ILPTimeLimit,
 			NodeLimit:         opts.ILPNodeLimit,
+			MIPWorkers:        opts.MIPWorkers,
 			LocalSearchBudget: opts.LocalSearchBudget,
 			Seed:              candidateSeed(opts.Seed, "ilp"),
 		}
@@ -143,6 +144,7 @@ func DNCCandidate(maxPart int) Candidate {
 			SubTimeLimit:       opts.ILPTimeLimit,
 			SubNodeLimit:       opts.ILPNodeLimit,
 			PartitionNodeLimit: opts.ILPNodeLimit,
+			MIPWorkers:         opts.MIPWorkers,
 			LocalSearchBudget:  opts.LocalSearchBudget / 4,
 			Seed:               candidateSeed(opts.Seed, "dnc-ilp"),
 		}

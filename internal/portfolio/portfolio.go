@@ -56,6 +56,22 @@ type Options struct {
 	// a generous ILPTimeLimit) when reproducible schedules matter more
 	// than squeezing the budget. 0 keeps the ilpsched default.
 	ILPNodeLimit int
+	// MIPWorkers bounds the relaxation-solving worker pool inside each
+	// ILP-based candidate's branch-and-bound trees (mip.Options.Workers).
+	// 0 budgets automatically: the portfolio splits GOMAXPROCS between
+	// candidate-level parallelism (the Workers pool racing schedulers)
+	// and tree-level parallelism, giving each candidate's trees
+	// max(1, GOMAXPROCS/Workers) LP workers — capped at mip.MaxWorkers,
+	// the engine's wave width — so the two layers together approach the
+	// machine width instead of oversubscribing it. The solver's
+	// deterministic node accounting makes each candidate's schedule
+	// identical for any budget, so auto-sizing adds no nondeterminism of
+	// its own; the portfolio-level guarantee is the usual one (see
+	// ILPNodeLimit): byte-identical results need the sealed incumbent,
+	// because *live* incumbent updates land at timing-dependent points
+	// whatever the worker counts. Negative disables tree-level
+	// parallelism (1 worker per tree).
+	MIPWorkers int
 	// LocalSearchBudget bounds the local-search heuristic of ILP-based
 	// candidates. Default 2000.
 	LocalSearchBudget int
@@ -215,6 +231,17 @@ func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Resu
 		workers = len(cands)
 	}
 	res.Workers = workers
+	// Budget the machine between the two parallelism layers: candidates
+	// racing in the pool above, LP workers inside each candidate's
+	// branch-and-bound trees below. Tree-level worker counts never change
+	// results (deterministic node accounting in package mip), so the
+	// budget is free to depend on GOMAXPROCS.
+	switch {
+	case opts.MIPWorkers < 0:
+		opts.MIPWorkers = 1
+	case opts.MIPWorkers == 0:
+		opts.MIPWorkers = min(mip.MaxWorkers, max(1, runtime.GOMAXPROCS(0)/max(1, workers)))
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)

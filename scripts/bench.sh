@@ -1,15 +1,19 @@
 #!/usr/bin/env sh
 # Solver-core benchmark: emits BENCH_solver.json so the warm-start
 # speedup (total simplex iterations across the branch-and-bound trees the
-# registry workloads search, warm vs cold) is tracked across PRs.
+# registry workloads search, warm vs cold) and the parallel tree-search
+# speedup (node throughput of the same trees, serial vs a 4-worker pool)
+# are tracked across PRs.
 #
 # Usage: scripts/bench.sh [outdir]
 #
 #   1. BenchmarkLPSolve / BenchmarkMIPNode micro-benchmarks (one
 #      iteration: pricing-rule and warm-vs-cold iteration counts);
 #   2. the solver experiment on the tiny registry dataset, which fails on
-#      warm/cold divergence or a warm-start regression and writes
-#      BENCH_solver.json.
+#      warm/cold divergence, a warm-start regression, any Workers=4 vs
+#      Workers=1 divergence (the deterministic-node-accounting gate), or
+#      a parallel node-throughput regression against the previous
+#      BENCH_solver.json, and writes the new BENCH_solver.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,8 +22,18 @@ outdir="${1:-.}"
 echo "== micro-benchmarks: BenchmarkLPSolve, BenchmarkMIPNode (1 iteration)"
 go test -run '^$' -bench 'BenchmarkLPSolve|BenchmarkMIPNode' -benchtime 1x .
 
+# Snapshot the previous results before the run overwrites them: the
+# regression gate compares dimensionless speedups against this baseline.
+baseline=""
+if [ -f "${outdir}/BENCH_solver.json" ]; then
+    baseline="${outdir}/BENCH_solver.json.baseline"
+    cp "${outdir}/BENCH_solver.json" "${baseline}"
+    # Snapshot removal must survive a gate failure aborting the script.
+    trap 'rm -f "${baseline}"' EXIT
+fi
+
 echo "== solver experiment -> ${outdir}/BENCH_solver.json"
 go run ./cmd/mbsp-bench -experiment solver -dataset tiny -timeout 10s \
-    -json "${outdir}/BENCH_solver.json"
+    -json "${outdir}/BENCH_solver.json" ${baseline:+-baseline "${baseline}"}
 
 echo "bench: OK"

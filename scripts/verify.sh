@@ -7,16 +7,21 @@
 #   2. go vet ./...
 #   3. go test -race ./...  (includes the solver cross-check tests: the
 #      sparse/warm-started simplex against the dense cold-start
-#      reference, and the GOMAXPROCS/worker-count determinism suite)
+#      reference, the GOMAXPROCS/worker-count determinism suite, and the
+#      parallel branch-and-bound determinism matrix)
 #   4. a short benchmark smoke: the portfolio experiment on the tiny
 #      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
 #      timing per instance) so the portfolio's performance trajectory is
 #      comparable across PRs;
 #   5. the solver bench smoke (scripts/bench.sh): micro-benchmarks plus
-#      the solver experiment emitting BENCH_solver.json — it exits
-#      nonzero on warm/cold solver divergence or if the warm-started
-#      path stops beating the cold path, so solver regressions fail the
-#      gate.
+#      the solver experiment emitting BENCH_solver.json — the
+#      parallel-solver gate. It exits nonzero on warm/cold solver
+#      divergence, if the warm-started path stops beating the cold path,
+#      if Workers=4 output diverges from Workers=1 in any way (partition,
+#      node accounting, iteration counts), or if parallel node throughput
+#      regresses against the committed BENCH_solver.json (wall-clock
+#      speedup gates scale to GOMAXPROCS; the determinism gate is
+#      unconditional).
 set -eu
 
 cd "$(dirname "$0")/.."
