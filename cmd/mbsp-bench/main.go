@@ -42,6 +42,8 @@ import (
 	"time"
 
 	"mbsp/internal/experiments"
+	"mbsp/internal/ilpsched"
+	"mbsp/internal/mbsp"
 	"mbsp/internal/partition"
 	"mbsp/internal/portfolio"
 	"mbsp/internal/workloads"
@@ -275,7 +277,28 @@ type solverJSON struct {
 	SerialNodeThroughput   float64              `json:"serial_node_throughput"`
 	ParallelNodeThroughput float64              `json:"parallel_node_throughput"`
 	ParallelSpeedup        float64              `json:"parallel_speedup"`
+	Degenerate             *degenerateJSON      `json:"degenerate,omitempty"`
 	Instances              []solverInstanceJSON `json:"instances"`
+}
+
+// degenerateJSON records the degenerate-model leg: the P=1 k-means
+// scheduling ILP whose massively degenerate relaxations used to stall
+// the warm dual re-solves into cold fallbacks (the ROADMAP open item
+// fixed by the Harris/BFRT ratio tests + EXPAND perturbation in
+// internal/lp). The node limit binds, so every count is deterministic;
+// the no-perturbation ablation re-searches the same tree with
+// perturbation off to keep the before/after ratio visible across PRs.
+type degenerateJSON struct {
+	Instance       string  `json:"instance"`
+	BBNodes        int     `json:"bb_nodes"`
+	SimplexIters   int     `json:"simplex_iters"`
+	CleanupIters   int     `json:"cleanup_iters"`
+	WarmLPs        int     `json:"warm_lps"`
+	ColdLPs        int     `json:"cold_lps"`
+	PerturbedLPs   int     `json:"perturbed_lps"`
+	NoPerturbIters int     `json:"noperturb_simplex_iters"`
+	NoPerturbCold  int     `json:"noperturb_cold_lps"`
+	Seconds        float64 `json:"seconds"`
 }
 
 type solverInstanceJSON struct {
@@ -414,6 +437,7 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 	if len(out.Instances) == 0 {
 		fatal(fmt.Errorf("solver experiment: dataset %q has no partitionable instances", dataset))
 	}
+	runDegenerateLeg(&out)
 	if out.WarmIters > 0 {
 		out.SpeedupIters = float64(out.ColdIters) / float64(out.WarmIters)
 	}
@@ -465,12 +489,29 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 	if baselinePath != "" {
 		if prev, err := readSolverBaseline(baselinePath); err != nil {
 			fmt.Printf("note: baseline %s not comparable: %v\n", baselinePath, err)
-		} else if prev.ParallelSpeedup > 0 && out.ParallelSpeedup > 0 &&
-			prev.GoMaxProcs == out.GoMaxProcs && prev.Dataset == out.Dataset &&
-			prev.ParallelWorkers == out.ParallelWorkers &&
-			out.ParallelSpeedup < 0.6*prev.ParallelSpeedup {
-			fatal(fmt.Errorf("solver experiment: parallel node-throughput speedup regressed: %.2fx vs %.2fx in %s",
-				out.ParallelSpeedup, prev.ParallelSpeedup, baselinePath))
+		} else {
+			if prev.ParallelSpeedup > 0 && out.ParallelSpeedup > 0 &&
+				prev.GoMaxProcs == out.GoMaxProcs && prev.Dataset == out.Dataset &&
+				prev.ParallelWorkers == out.ParallelWorkers &&
+				out.ParallelSpeedup < 0.6*prev.ParallelSpeedup {
+				fatal(fmt.Errorf("solver experiment: parallel node-throughput speedup regressed: %.2fx vs %.2fx in %s",
+					out.ParallelSpeedup, prev.ParallelSpeedup, baselinePath))
+			}
+			// Degenerate-model regression gate: the fixture's node limit
+			// binds, so its counts are deterministic — any rise in
+			// iterations or cold fallbacks is a real anti-degeneracy
+			// regression, not noise. Baselines predating the leg skip it.
+			if prev.Degenerate != nil && out.Degenerate != nil &&
+				prev.Degenerate.Instance == out.Degenerate.Instance {
+				if out.Degenerate.SimplexIters > prev.Degenerate.SimplexIters*5/4 {
+					fatal(fmt.Errorf("solver experiment: degenerate leg regressed: %d simplex iterations vs %d in %s",
+						out.Degenerate.SimplexIters, prev.Degenerate.SimplexIters, baselinePath))
+				}
+				if out.Degenerate.ColdLPs > prev.Degenerate.ColdLPs+1 {
+					fatal(fmt.Errorf("solver experiment: degenerate leg regressed: %d cold fallbacks vs %d in %s",
+						out.Degenerate.ColdLPs, prev.Degenerate.ColdLPs, baselinePath))
+				}
+			}
 		}
 	}
 	// The JSON lands only after every gate passed: a failing run must not
@@ -488,6 +529,62 @@ func runSolver(insts []workloads.Instance, dataset string, timeout time.Duration
 			fatal(err)
 		}
 		fmt.Println("wrote", jsonPath)
+	}
+}
+
+// runDegenerateLeg measures the anti-degeneracy machinery on the P=1
+// k-means scheduling ILP — the fixture whose relaxations are degenerate
+// enough that, before the Harris/BFRT ratio tests and EXPAND
+// perturbation, warm dual re-solves exhausted their pivot budget and
+// fell back to cold solves. The leg runs the tree search twice over the
+// same 20-node limit (binding, hence deterministic counts): once with
+// perturbation on (the default) and once with the NoPerturb ablation.
+// Hard gates here catch wiring breaks (perturbation not reaching the
+// tree search, clean-up dominating); the trajectory gate against
+// -baseline lives with the other baseline checks in runSolver.
+func runDegenerateLeg(out *solverJSON) {
+	inst, err := workloads.ByName("k-means")
+	if err != nil {
+		fatal(fmt.Errorf("solver experiment (degenerate leg): %w", err))
+	}
+	arch := mbsp.Arch{P: 1, R: 3 * inst.DAG.MinCache(), G: 1, L: 10}
+	// The node limit binds; the time limit is a generous backstop kept
+	// independent of -timeout so the counts stay deterministic.
+	opts := ilpsched.Options{
+		Model:             mbsp.Sync,
+		TimeLimit:         2 * time.Minute,
+		NodeLimit:         20,
+		LocalSearchBudget: 1,
+		Seed:              7,
+	}
+	start := time.Now()
+	_, stats, err := ilpsched.Solve(inst.DAG, arch, opts)
+	if err != nil {
+		fatal(fmt.Errorf("solver experiment (degenerate leg): %w", err))
+	}
+	opts.NoPerturb = true
+	_, ablation, err := ilpsched.Solve(inst.DAG, arch, opts)
+	if err != nil {
+		fatal(fmt.Errorf("solver experiment (degenerate ablation): %w", err))
+	}
+	out.Degenerate = &degenerateJSON{
+		Instance: "k-means-P1", BBNodes: stats.ILPNodes,
+		SimplexIters: stats.SimplexIters, CleanupIters: stats.CleanupIters,
+		WarmLPs: stats.WarmLPs, ColdLPs: stats.ColdLPs, PerturbedLPs: stats.PerturbedLPs,
+		NoPerturbIters: ablation.SimplexIters, NoPerturbCold: ablation.ColdLPs,
+		Seconds: time.Since(start).Seconds(),
+	}
+	d := out.Degenerate
+	fmt.Printf("degenerate leg (k-means P=1, %d nodes): %d simplex iters (%d clean-up), warm/cold=%d/%d; NoPerturb ablation: %d iters, %d cold\n",
+		d.BBNodes, d.SimplexIters, d.CleanupIters, d.WarmLPs, d.ColdLPs, d.NoPerturbIters, d.NoPerturbCold)
+	if !stats.UsedILP {
+		fatal(fmt.Errorf("solver experiment: degenerate fixture no longer enters the tree search (rows=%d)", stats.ModelRows))
+	}
+	if d.PerturbedLPs == 0 {
+		fatal(fmt.Errorf("solver experiment: degenerate leg reports no perturbed relaxations — EXPAND perturbation is not reaching the tree search"))
+	}
+	if d.CleanupIters > d.SimplexIters/10 {
+		fatal(fmt.Errorf("solver experiment: degenerate leg spends %d of %d iterations in shift-removal clean-up", d.CleanupIters, d.SimplexIters))
 	}
 }
 

@@ -20,7 +20,7 @@ type ILPOptions struct {
 	// identical for any value. Default 1.
 	Workers int
 	// MaxModelRows falls back to the BSPg schedule when the model would
-	// exceed this many rows. Default 2600.
+	// exceed this many rows. Default mip.DefaultMaxModelRows.
 	MaxModelRows int
 }
 
@@ -43,7 +43,7 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 		opts.NodeLimit = 3000
 	}
 	if opts.MaxModelRows == 0 {
-		opts.MaxModelRows = 2600
+		opts.MaxModelRows = mip.DefaultMaxModelRows
 	}
 	S := opts.Steps
 	if S == 0 {

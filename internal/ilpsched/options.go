@@ -60,7 +60,7 @@ type Options struct {
 	// MaxModelRows skips the tree search (keeping warm start + local
 	// search) when the ILP would have more rows than this; the bundled
 	// dense-inverse simplex degrades sharply beyond a few thousand rows.
-	// Default 2600.
+	// Default mip.DefaultMaxModelRows.
 	MaxModelRows int
 	// DisableLocalSearch turns off the local-search primal heuristic
 	// (used by ablation benchmarks).
@@ -94,6 +94,10 @@ type Options struct {
 	// solver ablation benchmarks.
 	LPColdStart bool
 	LPReference bool
+	// NoPerturb disables the solver's deterministic EXPAND anti-degeneracy
+	// perturbation (mip.Options.NoPerturb); exists for the degenerate-model
+	// ablation benchmark.
+	NoPerturb bool
 	// Logf receives progress messages.
 	Logf func(format string, args ...interface{})
 	// Seed drives the local-search heuristic.
@@ -111,7 +115,7 @@ func (o Options) withDefaults() Options {
 		o.NodeLimit = 5000
 	}
 	if o.MaxModelRows == 0 {
-		o.MaxModelRows = 2600
+		o.MaxModelRows = mip.DefaultMaxModelRows
 	}
 	if o.LocalSearchBudget == 0 {
 		o.LocalSearchBudget = 4000
@@ -136,6 +140,11 @@ type Stats struct {
 	// into dual re-solves from the parent basis and cold starts.
 	SimplexIters     int
 	WarmLPs, ColdLPs int
+	// PerturbedLPs counts node relaxations solved under EXPAND
+	// perturbation; CleanupIters is the (small) share of SimplexIters
+	// spent removing the shifts at optimality.
+	PerturbedLPs int
+	CleanupIters int
 	LocalMoves       int
 	WarmCost         float64
 	FinalCost        float64

@@ -83,6 +83,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			Workers:         opts.MIPWorkers,
 			ColdStart:       opts.LPColdStart,
 			ReferenceLP:     opts.LPReference,
+			NoPerturb:       opts.NoPerturb,
 			SharedIncumbent: opts.Incumbent,
 			// Publish improving tree-search incumbents mid-search, but
 			// only after extraction and validation: the shared bound must
@@ -102,6 +103,8 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		stats.SimplexIters = res.SimplexIters
 		stats.WarmLPs = res.WarmLPs
 		stats.ColdLPs = res.ColdLPs
+		stats.PerturbedLPs = res.PerturbedLPs
+		stats.CleanupIters = res.CleanupIters
 		stats.ProvedBound = res.Bound
 		if res.X != nil {
 			if sched, err := im.extract(res.X); err == nil {

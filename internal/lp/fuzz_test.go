@@ -58,8 +58,22 @@ func FuzzSolveFrom(f *testing.F) {
 			}
 			warm := in.SolveFrom(basis, lb, ub, Options{})
 			cold := SolveDense(&Problem{Obj: p.Obj, Lb: lb, Ub: ub, Rows: p.Rows}, Options{})
+			// The perturbed warm path must agree too: shifts are removed
+			// before a result is reported, so EXPAND is invisible here.
+			warmP := in.SolveFrom(basis, lb, ub, Options{Perturb: true, PerturbSeq: uint64(step + 1)})
 			if warm.Status == IterLimit || cold.Status == IterLimit {
 				return // budget artifacts are not a disagreement
+			}
+			if warmP.Status != IterLimit {
+				if (warmP.Status == Optimal) != (cold.Status == Optimal) {
+					t.Fatalf("seed %d step %d: perturbed warm=%v cold=%v (coldRestart=%v)",
+						seed, step, warmP.Status, cold.Status, warmP.ColdRestart)
+				}
+				if warmP.Status == Optimal && cold.Status == Optimal &&
+					math.Abs(warmP.Obj-cold.Obj) > 1e-9*(1+math.Abs(cold.Obj)) {
+					t.Fatalf("seed %d step %d: perturbed warm obj=%g cold obj=%g",
+						seed, step, warmP.Obj, cold.Obj)
+				}
 			}
 			if warm.Status == Unbounded || cold.Status == Unbounded {
 				// Box bounds keep the chain bounded; an unbounded verdict

@@ -125,6 +125,14 @@ type Result struct {
 	// supplied basis (singular after bound changes, or the dual simplex
 	// stalled) and fell back to a cold solve.
 	ColdRestart bool
+	// Perturbed records that Options.Perturb shifted the working bounds
+	// during this solve; the shifts were removed before the result was
+	// reported (see CleanupIters).
+	Perturbed bool
+	// CleanupIters is the number of simplex iterations (included in Iters)
+	// the clean-up re-solve spent removing the EXPAND shifts and Harris
+	// tolerance-band residuals at the end of the solve.
+	CleanupIters int
 }
 
 // Pricing selects the primal pricing rule.
@@ -159,6 +167,21 @@ type Options struct {
 	// solves to the same bits on every worker instance, for any worker
 	// count.
 	FreshFactor bool
+	// Perturb enables deterministic EXPAND-style bound perturbation: every
+	// finite working bound is expanded outward by a tiny pseudo-random
+	// amount derived from (instance fingerprint, PerturbSeq, column), which
+	// breaks the ratio-test ties that make massively degenerate models
+	// (the scheduling ILPs) stall. The shifts are removed at optimality by
+	// a clean-up re-solve against the exact bounds, so reported solutions,
+	// statuses and objectives are exact — and, being a pure function of
+	// (matrix, basis, bounds, PerturbSeq), identical on every solve of the
+	// same inputs regardless of worker scheduling.
+	Perturb bool
+	// PerturbSeq varies the perturbation between related solves of one
+	// instance — branch-and-bound threads the node's creation sequence
+	// number, so sibling relaxations do not share one unlucky shift
+	// pattern while determinism for any worker count is preserved.
+	PerturbSeq uint64
 }
 
 const defaultEps = 1e-7

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPerturbShiftsRemoved is the contract test for EXPAND clean-up:
+// a perturbed solve must report exactly the same answer as an
+// unperturbed one — same status, same objective, and a point that lies
+// within the TRUE bounds, with no shift residue. If finish() ever
+// forgot to restore a bound or a cost, random instances here would
+// leak a ~1e-14 displacement and the bound check would trip.
+func TestPerturbShiftsRemoved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		plain := Solve(p, Options{})
+		pert := Solve(p, Options{Perturb: true, PerturbSeq: uint64(seed)})
+		if plain.Status != pert.Status {
+			t.Logf("seed %d: plain=%v perturbed=%v", seed, plain.Status, pert.Status)
+			return false
+		}
+		if plain.Status != Optimal {
+			return true
+		}
+		if !pert.Perturbed {
+			t.Logf("seed %d: Result.Perturbed not set", seed)
+			return false
+		}
+		if math.Abs(plain.Obj-pert.Obj) > 1e-9*(1+math.Abs(plain.Obj)) {
+			t.Logf("seed %d: plain obj=%g perturbed obj=%g", seed, plain.Obj, pert.Obj)
+			return false
+		}
+		for j := range pert.X {
+			if pert.X[j] < p.Lb[j]-1e-9 || pert.X[j] > p.Ub[j]+1e-9 {
+				t.Logf("seed %d: x[%d]=%g outside true bounds [%g,%g] — shift residue",
+					seed, j, pert.X[j], p.Lb[j], p.Ub[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerturbDeterministic: the shifts are a pure function of
+// (fingerprint, PerturbSeq), so repeating a perturbed solve must give a
+// byte-identical result — same iterate path, same iteration count, same
+// X vector bit for bit. This is the lp-level half of the mip package's
+// byte-identical-for-any-worker-count contract.
+func TestPerturbDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomLP(rng)
+		opts := Options{Perturb: true, PerturbSeq: uint64(trial * 13)}
+		a := Solve(p, opts)
+		b := Solve(p, opts)
+		if a.Status != b.Status || a.Iters != b.Iters || a.Obj != b.Obj {
+			t.Fatalf("trial %d: repeat solve diverged: (%v,%d,%g) vs (%v,%d,%g)",
+				trial, a.Status, a.Iters, a.Obj, b.Status, b.Iters, b.Obj)
+		}
+		for j := range a.X {
+			if math.Float64bits(a.X[j]) != math.Float64bits(b.X[j]) {
+				t.Fatalf("trial %d: x[%d] differs bitwise: %v vs %v", trial, j, a.X[j], b.X[j])
+			}
+		}
+	}
+}
+
+// TestPerturbSeqInvariance: different perturbation seeds may walk
+// different pivot paths but must land on the same optimal value —
+// PerturbSeq is a tie-breaking device, not a model change.
+func TestPerturbSeqInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		p := randomLP(rng)
+		base := Solve(p, Options{})
+		if base.Status != Optimal {
+			continue
+		}
+		for _, seq := range []uint64{0, 1, 2, 1 << 40, ^uint64(0)} {
+			r := Solve(p, Options{Perturb: true, PerturbSeq: seq})
+			if r.Status != Optimal {
+				t.Fatalf("trial %d seq %d: status %v (base Optimal)", trial, seq, r.Status)
+			}
+			if math.Abs(r.Obj-base.Obj) > 1e-9*(1+math.Abs(base.Obj)) {
+				t.Fatalf("trial %d seq %d: obj=%g base=%g", trial, seq, r.Obj, base.Obj)
+			}
+		}
+	}
+}
+
+// TestPerturbUnitRange pins the EXPAND shift recipe: units live in
+// [1/2, 1) so no bound ever receives a near-zero (tie-preserving) shift,
+// and the mapping is seed-sensitive.
+func TestPerturbUnitRange(t *testing.T) {
+	distinct := map[float64]bool{}
+	for seed := uint64(0); seed < 16; seed++ {
+		for k := uint64(0); k < 64; k++ {
+			u := perturbUnit(seed, k)
+			if u < 0.5 || u >= 1 {
+				t.Fatalf("perturbUnit(%d,%d)=%g outside [0.5,1)", seed, k, u)
+			}
+			distinct[u] = true
+		}
+	}
+	if len(distinct) < 1000 {
+		t.Fatalf("perturbUnit collapsed: only %d distinct values in 1024 draws", len(distinct))
+	}
+}
+
+// TestFingerprintStability: the instance fingerprint must be a pure
+// function of the assembled matrix — identical problems hash equal,
+// a one-coefficient change hashes different.
+func TestFingerprintStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomLP(rng)
+	a := Prepare(p)
+	b := Prepare(p)
+	if a.fprint != b.fprint {
+		t.Fatalf("same problem, different fingerprints: %x vs %x", a.fprint, b.fprint)
+	}
+	q := randomLP(rng)
+	c := Prepare(q)
+	if a.fprint == c.fprint {
+		t.Fatalf("different problems share fingerprint %x", a.fprint)
+	}
+}

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"math"
+	"sort"
 	"time"
 )
 
@@ -24,6 +25,10 @@ type Instance struct {
 	vals   []float64
 
 	slackLb, slackUb []float64 // per row, fixed by the row sense
+
+	// fprint is a content hash of the assembled instance, the per-matrix
+	// half of the EXPAND perturbation seed (see perturb.go).
+	fprint uint64
 
 	ws *spx // lazily allocated, reused across sequential solves
 }
@@ -85,6 +90,7 @@ func Prepare(p *Problem) *Instance {
 			in.slackLb[i], in.slackUb[i] = 0, 0
 		}
 	}
+	in.fprint = in.fingerprint()
 	return in
 }
 
@@ -125,6 +131,11 @@ func (in *Instance) Solve(lb, ub []float64, opts Options) Result {
 	}
 	st, it := s.primal(s.obj2, opts.MaxIters-iters)
 	iters += it
+	if st == Optimal {
+		st, it = s.finish(opts.MaxIters - iters)
+		iters += it
+		s.cleanupIters += it
+	}
 	return s.result(st, iters, false)
 }
 
@@ -150,6 +161,9 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 		return Result{Status: Infeasible}
 	}
 	s.installBasis(basis)
+	if opts.Perturb {
+		s.perturbCosts()
+	}
 	if !hot && !s.refactor() {
 		res := in.Solve(lb, ub, opts)
 		res.ColdRestart = true
@@ -157,13 +171,15 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 	}
 	s.computeXB()
 
-	// Dual reoptimization with a deliberately tight budget. A successful
-	// re-solve after a single bound change takes a handful of pivots; a
-	// dual that has not finished within ~m/8 iterations is almost always
-	// stalling on degeneracy, and every additional iteration it burns
-	// comes on top of the cold solve it will fall back to anyway —
-	// failing fast is what keeps the warm path a strict win.
-	dualBudget := 50 + s.m/8
+	// Dual reoptimization with a deliberately tight budget: a dual that
+	// has not finished within ~m/4 iterations is almost always stalling,
+	// and every additional iteration it burns comes on top of the cold
+	// solve it will fall back to anyway — failing fast keeps the warm path
+	// a strict win. With perturbation on (the default), warm re-solves on
+	// the degenerate scheduling models were measured to finish well inside
+	// this budget once the BFRT pivots at every crossing breakpoint; the
+	// budget is the backstop for NoPerturb runs and pathological handoffs.
+	dualBudget := 50 + s.m/4
 	if opts.MaxIters < dualBudget {
 		dualBudget = opts.MaxIters
 	}
@@ -171,7 +187,10 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 	iters := it
 	switch st {
 	case Infeasible:
-		return Result{Status: Infeasible, Iters: iters}
+		// The perturbed feasible region contains the true one (bounds only
+		// ever expand), so infeasibility on the working bounds is
+		// infeasibility on the exact bounds too.
+		return Result{Status: Infeasible, Iters: iters, Perturbed: s.didPerturb}
 	case IterLimit:
 		if s.aborted() {
 			return s.result(IterLimit, iters, false)
@@ -185,6 +204,26 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 	// safety net when reduced costs drifted across the basis handoff.
 	st, it = s.primal(s.obj2, opts.MaxIters-iters)
 	iters += it
+	if st == Optimal {
+		st, it = s.finish(opts.MaxIters - iters)
+		iters += it
+		s.cleanupIters += it
+		switch st {
+		case Infeasible:
+			return Result{Status: Infeasible, Iters: iters, Perturbed: s.didPerturb}
+		case IterLimit:
+			if s.aborted() {
+				return s.result(IterLimit, iters, false)
+			}
+			// The clean-up stalled on this basis: cold-restart against the
+			// exact bounds rather than report a point that still carries
+			// shift residuals.
+			res := in.Solve(lb, ub, opts)
+			res.ColdRestart = true
+			res.Iters += iters
+			return res
+		}
+	}
 	return s.result(st, iters, false)
 }
 
@@ -198,11 +237,19 @@ type spx struct {
 	nArt int
 
 	lb, ub []float64
-	obj2   []float64 // phase-2 objective (structural costs, zeros elsewhere)
-	x      []float64
-	stat   []vstat
-	basis  []int
-	binv   []float64 // m×m, row-major: row i belongs to basis[i]
+	// lbTrue/ubTrue hold the exact caller bounds while lb/ub carry the
+	// EXPAND-perturbed working bounds; finish() restores them. perturbed
+	// is live state (shifts currently applied), didPerturb records that
+	// the solve perturbed at all (reported as Result.Perturbed).
+	lbTrue, ubTrue        []float64
+	perturbed, didPerturb bool
+	costPerturbed         bool
+	cleanupIters          int
+	obj2                  []float64 // phase-2 objective (structural costs, zeros elsewhere)
+	x                     []float64
+	stat                  []vstat
+	basis                 []int
+	binv                  []float64 // m×m, row-major: row i belongs to basis[i]
 
 	artRow  []int32 // artificial j = nTot+k sits in row artRow[k]
 	artSign []float64
@@ -210,6 +257,14 @@ type spx struct {
 	y, w, rho, resid []float64
 	gamma            []float64 // Devex reference weights
 	work             []float64 // refactorization scratch, m×m
+
+	// Dual ratio-test candidate scratch (Harris pass 2 re-reads what pass
+	// 1 computed instead of re-scanning the columns).
+	candJ   []int32
+	candA   []float64 // |alpha| per candidate
+	candR   []float64 // strict ratio per candidate
+	candIdx []int     // candidate order scratch for the BFRT ratio sort
+	acc     []float64 // accumulated flipped-column updates (dense m-vector)
 
 	lastBasis *Basis // snapshot matching the live factorization, if any
 	factorOK  bool
@@ -220,6 +275,14 @@ type spx struct {
 	deadline time.Time
 	cancel   <-chan struct{}
 	abortSet bool
+
+	// Tolerances derived from Options.Eps in workspace(); see their uses
+	// for the roles.
+	pivotTol   float64 // unusable-pivot cutoff (was hard-coded 1e-12)
+	alphaTol   float64 // dual ratio-test pivot eligibility (was 1e-9)
+	primalBand float64 // Harris primal band: per-bound flex in ratio pass 1
+	dualBand   float64 // Harris dual band: allowed dual-feasibility slack
+	dualTol    float64 // primal-feasibility threshold of the dual's leaving row
 }
 
 // workspace returns the reusable solver state, (re)allocating on first
@@ -240,6 +303,7 @@ func (in *Instance) workspace(opts *Options) *spx {
 		in.ws = &spx{
 			in: in, m: m, nTot: nTot,
 			lb: make([]float64, total), ub: make([]float64, total),
+			lbTrue: make([]float64, nTot), ubTrue: make([]float64, nTot),
 			obj2: make([]float64, total), x: make([]float64, total),
 			stat: make([]vstat, total), basis: make([]int, m),
 			binv: make([]float64, m*m), work: make([]float64, m*m),
@@ -247,6 +311,9 @@ func (in *Instance) workspace(opts *Options) *spx {
 			y: make([]float64, m), w: make([]float64, m),
 			rho: make([]float64, m), resid: make([]float64, m),
 			gamma: make([]float64, total),
+			candJ: make([]int32, 0, total), candA: make([]float64, 0, total),
+			candR: make([]float64, 0, total), candIdx: make([]int, 0, total),
+			acc: make([]float64, m),
 		}
 	}
 	s := in.ws
@@ -255,6 +322,23 @@ func (in *Instance) workspace(opts *Options) *spx {
 	s.deadline = opts.Deadline
 	s.cancel = opts.Cancel
 	s.abortSet = false
+	s.perturbed, s.didPerturb, s.costPerturbed = false, false, false
+	s.cleanupIters = 0
+	// Tolerances derive from Options.Eps instead of hard-coded absolute
+	// constants, so a caller loosening or tightening Eps moves the whole
+	// tolerance stack coherently. At the default Eps=1e-7 they reduce to
+	// the former constants 1e-12 and 1e-9. Row/bound magnitudes enter
+	// through the *relative* Harris bands (eps·max(1,|bound|) in the
+	// primal, see boundScale) rather than by inflating the pivot cutoffs:
+	// scaling cutoffs by the matrix norm was measured to misclassify
+	// usable pivots on the scheduling models (max |coefficient| ≈ 1.3e3
+	// would put alphaTol above genuine pivot magnitudes and stall the
+	// dual).
+	s.pivotTol = 1e-5 * opts.Eps
+	s.alphaTol = 1e-2 * opts.Eps
+	s.primalBand = 0 * opts.Eps
+	s.dualBand = 0 * opts.Eps
+	s.dualTol = opts.Eps
 	// lastBasis, factorOK and the pivot count survive between solves so
 	// that SolveFrom can reuse a still-live factorization (the hot path)
 	// and the refactorization cadence tracks drift across short warm
@@ -282,6 +366,11 @@ func (s *spx) resetBounds(lb, ub []float64) bool {
 		if s.lb[j] > s.ub[j]+s.eps {
 			return false
 		}
+	}
+	// Perturbation expands bounds outward, so it can never manufacture an
+	// empty box; it runs after the feasibility check on the true bounds.
+	if s.opts.Perturb {
+		s.perturbBounds()
 	}
 	return true
 }
@@ -509,6 +598,25 @@ func (s *spx) ftran(j int, w []float64) {
 	}
 }
 
+// ftranDense computes w = B⁻¹·a for a dense right-hand side a, skipping
+// zero entries (a is the sparse accumulation of the BFRT's flipped
+// columns).
+func (s *spx) ftranDense(a, w []float64) {
+	m := s.m
+	for i := 0; i < m; i++ {
+		w[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		ak := a[k]
+		if ak == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			w[i] += s.binv[i*m+k] * ak
+		}
+	}
+}
+
 // duals computes y = c_B·B⁻¹ for the objective c.
 func (s *spx) duals(c []float64) {
 	m := s.m
@@ -544,7 +652,7 @@ func (s *spx) reducedCost(c []float64, j int) float64 {
 func (s *spx) pivotUpdate(leave int, w []float64) bool {
 	m := s.m
 	piv := w[leave]
-	if math.Abs(piv) < 1e-12 {
+	if math.Abs(piv) < s.pivotTol {
 		return false
 	}
 	rowL := s.binv[leave*m : leave*m+m]
@@ -589,10 +697,25 @@ func (s *spx) checkAbort() bool {
 
 func (s *spx) aborted() bool { return s.abortSet }
 
+// blandRecovery is the number of consecutive nondegenerate steps after
+// which Bland-mode pricing reverts to Devex: Bland's rule is an
+// anti-cycling device, not a pricing strategy, and once the solve escapes
+// the degenerate plateau that triggered it, staying on Bland degrades
+// every remaining iteration. The Devex reference weights are
+// re-initialized on recovery (the old frame is stale after Bland pivots).
+const blandRecovery = 8
+
 // primal runs bounded-variable primal simplex iterations for objective c
 // until optimal, unbounded, or the budget runs out. Pricing is Devex by
 // default (Dantzig under Options.Pricing), with Bland's rule under
-// prolonged degeneracy.
+// prolonged degeneracy (reverting to Devex after a nondegenerate run).
+// The ratio test is a Harris-style two-pass test: pass 1 finds the
+// smallest step attainable when every bound may flex by its feasibility
+// band, pass 2 takes the largest-magnitude pivot whose exact ratio fits
+// under that limit — on degenerate vertices this trades a zero-length
+// step on a tiny pivot for a (possibly still zero) step on a stable one,
+// and combined with the EXPAND shifts it turns exact ties into strictly
+// positive progress.
 func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 	if maxIters <= 0 {
 		return IterLimit, 0
@@ -604,6 +727,7 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 		s.gamma[j] = 1
 	}
 	degenerate := 0
+	nondegenRun := 0
 	useBland := false
 	for it := 0; it < maxIters; it++ {
 		if it%64 == 0 && s.checkAbort() {
@@ -615,7 +739,7 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 		bestScore := 0.0
 		var dir float64 // +1 entering increases, −1 decreases
 		for j := 0; j < s.n; j++ {
-			if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+			if s.stat[j] == basic || s.entryFixed(j) {
 				continue
 			}
 			d := s.reducedCost(c, j)
@@ -648,34 +772,105 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 		}
 		s.ftran(enter, w)
 		// Ratio test: entering moves by t·dir ≥ 0; basic i changes by
-		// −dir·t·w[i].
-		tMax := s.ub[enter] - s.lb[enter] // bound-flip distance
+		// −dir·t·w[i]. tFlip is the bound-flip distance, measured from the
+		// entering variable's current value, NOT as ub−lb: a column can be
+		// parked strictly between its bounds (a semi-free column sitting at
+		// 0, e.g. a ≥-row slack whose zero upper bound was perturbed away
+		// from the parking spot), and bound-to-bound distance would let it
+		// blow straight through the near bound.
+		var tFlip float64
+		if dir > 0 {
+			tFlip = s.ub[enter] - s.x[enter]
+		} else {
+			tFlip = s.x[enter] - s.lb[enter]
+		}
+		tMax := tFlip
 		leave := -1
 		leaveToUpper := false
-		for i := 0; i < m; i++ {
-			delta := -dir * w[i]
-			if delta > s.eps { // basic increases toward ub
-				bi := s.basis[i]
-				if !math.IsInf(s.ub[bi], 1) {
-					t := (s.ub[bi] - s.x[bi]) / delta
-					if t < tMax-1e-12 {
-						tMax, leave, leaveToUpper = t, i, true
+		if useBland {
+			// Bland mode keeps the strict textbook single-pass test (its
+			// anti-cycling argument needs exact minimal ratios; the slack
+			// scales with the pivot tolerance, not a magic 1e-12).
+			for i := 0; i < m; i++ {
+				delta := -dir * w[i]
+				if delta > s.eps { // basic increases toward ub
+					bi := s.basis[i]
+					if !math.IsInf(s.ub[bi], 1) {
+						t := (s.ub[bi] - s.x[bi]) / delta
+						if t < tMax-s.pivotTol {
+							tMax, leave, leaveToUpper = t, i, true
+						}
 					}
-				}
-			} else if delta < -s.eps { // basic decreases toward lb
-				bi := s.basis[i]
-				if !math.IsInf(s.lb[bi], -1) {
-					t := (s.lb[bi] - s.x[bi]) / delta
-					if t < tMax-1e-12 {
-						tMax, leave, leaveToUpper = t, i, false
+				} else if delta < -s.eps { // basic decreases toward lb
+					bi := s.basis[i]
+					if !math.IsInf(s.lb[bi], -1) {
+						t := (s.lb[bi] - s.x[bi]) / delta
+						if t < tMax-s.pivotTol {
+							tMax, leave, leaveToUpper = t, i, false
+						}
 					}
 				}
 			}
+			if math.IsInf(tMax, 1) {
+				return Unbounded, it
+			}
+		} else {
+			// Harris pass 1: the smallest step when every blocking bound
+			// may flex by its feasibility band eps·max(1,|bound|).
+			tLim := tFlip
+			for i := 0; i < m; i++ {
+				delta := -dir * w[i]
+				if delta > s.eps {
+					bi := s.basis[i]
+					if ub := s.ub[bi]; !math.IsInf(ub, 1) {
+						if t := (ub - s.x[bi] + s.primalBand*boundScale(ub)) / delta; t < tLim {
+							tLim = t
+						}
+					}
+				} else if delta < -s.eps {
+					bi := s.basis[i]
+					if lb := s.lb[bi]; !math.IsInf(lb, -1) {
+						if t := (lb - s.x[bi] - s.primalBand*boundScale(lb)) / delta; t < tLim {
+							tLim = t
+						}
+					}
+				}
+			}
+			if math.IsInf(tLim, 1) {
+				return Unbounded, it
+			}
+			// Harris pass 2: among rows whose exact ratio fits under the
+			// relaxed limit, take the largest-magnitude pivot. The row
+			// that set tLim always qualifies (its exact ratio is below its
+			// own relaxed one), so leave < 0 means no row blocks before
+			// the bound-flip distance.
+			bestPiv := 0.0
+			for i := 0; i < m; i++ {
+				delta := -dir * w[i]
+				if delta > s.eps {
+					bi := s.basis[i]
+					if ub := s.ub[bi]; !math.IsInf(ub, 1) {
+						if t := (ub - s.x[bi]) / delta; t <= tLim && delta > bestPiv {
+							bestPiv, tMax, leave, leaveToUpper = delta, t, i, true
+						}
+					}
+				} else if delta < -s.eps {
+					bi := s.basis[i]
+					if lb := s.lb[bi]; !math.IsInf(lb, -1) {
+						if t := (lb - s.x[bi]) / delta; t <= tLim && -delta > bestPiv {
+							bestPiv, tMax, leave, leaveToUpper = -delta, t, i, false
+						}
+					}
+				}
+			}
+			if leave < 0 {
+				tMax = tFlip
+			}
+			if math.IsInf(tMax, 1) {
+				return Unbounded, it
+			}
 		}
-		if math.IsInf(tMax, 1) {
-			return Unbounded, it
-		}
-		if leave >= 0 && math.Abs(w[leave]) < 1e-12 {
+		if leave >= 0 && math.Abs(w[leave]) < s.pivotTol {
 			// Numerically unusable pivot. With a fresh factorization the
 			// basis is genuinely stuck; otherwise rebuild and re-derive
 			// the direction next iteration.
@@ -691,13 +886,26 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 		if tMax < 0 {
 			tMax = 0
 		}
-		if tMax < 1e-12 {
+		if tMax < s.pivotTol {
 			degenerate++
+			nondegenRun = 0
 			if degenerate > 3*m+50 {
 				useBland = true
 			}
 		} else {
 			degenerate = 0
+			if useBland {
+				// Bland recovery (the fallback used to be sticky): a run
+				// of nondegenerate steps means the plateau is behind us —
+				// return to Devex with a fresh reference frame.
+				if nondegenRun++; nondegenRun >= blandRecovery {
+					useBland = false
+					nondegenRun = 0
+					for j := 0; j < s.n; j++ {
+						s.gamma[j] = 1
+					}
+				}
+			}
 		}
 		// Apply the step.
 		s.x[enter] += dir * tMax
@@ -739,7 +947,7 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 			ratio2 := gammaEnter / (alphaE * alphaE)
 			maxGamma := 1.0
 			for j := 0; j < s.n; j++ {
-				if s.stat[j] == basic || j == lv || s.lb[j] == s.ub[j] {
+				if s.stat[j] == basic || j == lv || s.entryFixed(j) {
 					continue
 				}
 				idx, vals := s.col(j)
@@ -777,6 +985,9 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 // infeasibility is proven (Infeasible), or the budget runs out
 // (IterLimit — the caller then falls back to a cold solve).
 func (s *spx) dual(maxIters int) (Status, int) {
+	if maxIters <= 0 {
+		return IterLimit, 0
+	}
 	m := s.m
 	w := s.w[:m]
 	rho := s.rho[:m]
@@ -784,16 +995,21 @@ func (s *spx) dual(maxIters int) (Status, int) {
 		if it%64 == 0 && s.checkAbort() {
 			return IterLimit, it
 		}
-		// Leaving row: the most primal-infeasible basic variable.
+		// Leaving row: the most primal-infeasible basic variable, measured
+		// relative to the bound's magnitude. The relative test matters under
+		// per-node perturbation: two seeds shift a bound b by amounts that
+		// differ by up to perturbScaleFactor·eps·(1+|b|), so an absolute
+		// test would chase sub-tolerance "violations" on large bounds after
+		// every warm handoff; scaling by boundScale keeps those invisible.
 		r := -1
-		worst := s.eps
+		worst := s.dualTol
 		below := false
 		for i := 0; i < m; i++ {
 			bi := s.basis[i]
-			if v := s.lb[bi] - s.x[bi]; v > worst {
+			if v := (s.lb[bi] - s.x[bi]) / boundScale(s.lb[bi]); v > worst {
 				worst, r, below = v, i, true
 			}
-			if v := s.x[bi] - s.ub[bi]; v > worst {
+			if v := (s.x[bi] - s.ub[bi]) / boundScale(s.ub[bi]); v > worst {
 				worst, r, below = v, i, false
 			}
 		}
@@ -802,12 +1018,13 @@ func (s *spx) dual(maxIters int) (Status, int) {
 		}
 		copy(rho, s.binv[r*m:r*m+m])
 		s.duals(s.obj2)
-		// Entering column: dual ratio test over eligible nonbasics.
-		enter := -1
-		bestRatio := math.Inf(1)
-		bestAlpha := 0.0
+		// Entering scan: record every admissible nonbasic as a breakpoint
+		// (column, |α|, strict ratio |d|/|α|) for the bound-flipping ratio
+		// test below. An empty candidate set means no column can repair
+		// row r at all.
+		s.candJ, s.candA, s.candR = s.candJ[:0], s.candA[:0], s.candR[:0]
 		for j := 0; j < s.n; j++ {
-			if s.stat[j] == basic || s.lb[j] == s.ub[j] {
+			if s.stat[j] == basic || s.entryFixed(j) {
 				continue
 			}
 			idx, vals := s.col(j)
@@ -815,7 +1032,8 @@ func (s *spx) dual(maxIters int) (Status, int) {
 			for k, row := range idx {
 				alpha += rho[row] * vals[k]
 			}
-			if math.Abs(alpha) <= 1e-9 {
+			aAbs := math.Abs(alpha)
+			if aAbs <= s.alphaTol {
 				continue
 			}
 			free := math.IsInf(s.lb[j], -1) && math.IsInf(s.ub[j], 1)
@@ -839,24 +1057,136 @@ func (s *spx) dual(maxIters int) (Status, int) {
 					}
 				}
 			}
-			d := s.reducedCost(s.obj2, j)
-			ratio := math.Abs(d) / math.Abs(alpha)
-			if ratio < bestRatio-1e-12 ||
-				(ratio < bestRatio+1e-12 && math.Abs(alpha) > bestAlpha) {
-				bestRatio, bestAlpha, enter = ratio, math.Abs(alpha), j
+			d := math.Abs(s.reducedCost(s.obj2, j))
+			s.candJ = append(s.candJ, int32(j))
+			s.candA = append(s.candA, aAbs)
+			s.candR = append(s.candR, d/aAbs)
+		}
+		// Bound-flipping ratio test (BFRT), Harris-banded. The previous
+		// scheme picked ONE entering column per iteration and, when the
+		// repair step overshot its box, flipped it and returned to the
+		// outer loop without a basis change. On the scheduling models that
+		// two-cycles forever: with every reduced cost at zero, the same
+		// column is the min-ratio repair for two rows that it alternately
+		// fixes and re-violates, and a flip changes no basis, prices, or
+		// weights, so nothing ever breaks the tie — the degenerate-
+		// scheduling stall. The BFRT instead walks ALL breakpoints of the
+		// leaving row in ratio order inside the iteration: a candidate
+		// whose box capacity |α|·span cannot absorb the remaining
+		// infeasibility is flipped and the walk continues, and the
+		// iteration ends in an actual pivot (or a fully repaired row), so
+		// flip-only iterations — the raw material of the cycle — no longer
+		// exist. Breakpoints within the Harris dual band of each other are
+		// treated as one group and the largest-|α| group member that can
+		// absorb the rest pivots, keeping pivots numerically sound.
+		bi := s.basis[r]
+		target := s.ub[bi]
+		if below {
+			target = s.lb[bi]
+		}
+		idx := s.candIdx[:0]
+		for k := range s.candJ {
+			idx = append(idx, k)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return s.candR[idx[a]] < s.candR[idx[b]] })
+		s.candIdx = idx
+		rem := math.Abs(s.x[bi] - target)
+		remTol := s.dualTol * boundScale(target)
+		for i := 0; i < m; i++ {
+			s.acc[i] = 0
+		}
+		enter, nFlip := -1, 0
+		for pos := 0; pos < len(idx) && enter < 0 && rem > remTol; {
+			// Band group: breakpoints within dualBand of the smallest
+			// unprocessed ratio are dual-feasibility-equivalent choices.
+			lim := s.candR[idx[pos]] + s.dualBand
+			end := pos
+			for end < len(idx) && s.candR[idx[end]] <= lim {
+				end++
+			}
+			for pos < end && enter < 0 && rem > remTol {
+				pivotQ, flipQ := -1, -1
+				pivotAlpha, flipCap := 0.0, 0.0
+				for q := pos; q < end; q++ {
+					k := idx[q]
+					if k < 0 {
+						continue // flipped earlier in this group
+					}
+					j := int(s.candJ[k])
+					cap := s.candA[k] * (s.ub[j] - s.lb[j])
+					// A candidate that can absorb the rest — even only up to
+					// the repair tolerance — is the crossing breakpoint and
+					// must PIVOT, not flip: a flip that zeroes the row
+					// without a basis change leaves the column dual-
+					// infeasible (no dual step crossed its ratio), and it
+					// flips straight back next iteration, forever.
+					if cap >= rem-remTol {
+						if pivotQ < 0 || s.candA[k] > pivotAlpha {
+							pivotQ, pivotAlpha = q, s.candA[k]
+						}
+					} else if flipQ < 0 || cap > flipCap {
+						flipQ, flipCap = q, cap
+					}
+				}
+				if pivotQ >= 0 {
+					enter = int(s.candJ[idx[pivotQ]])
+					break
+				}
+				if flipQ < 0 {
+					break // group exhausted by flips; next band
+				}
+				// No group member absorbs the rest: flip the one with the
+				// largest capacity and keep walking.
+				k := idx[flipQ]
+				j := int(s.candJ[k])
+				span := s.ub[j] - s.lb[j]
+				f := span
+				if s.stat[j] == atUpper {
+					f = -span
+					s.stat[j] = atLower
+					s.x[j] = s.lb[j]
+				} else {
+					s.stat[j] = atUpper
+					s.x[j] = s.ub[j]
+				}
+				cidx, cvals := s.col(j)
+				for t, row := range cidx {
+					s.acc[row] += f * cvals[t]
+				}
+				rem -= flipCap
+				nFlip++
+				idx[flipQ] = -1
+			}
+			pos = end
+		}
+		if nFlip > 0 {
+			// One combined FTRAN applies every flip to the basic values:
+			// x_B -= B⁻¹·Σ f_j·A_j.
+			s.ftranDense(s.acc, w)
+			for i := 0; i < m; i++ {
+				s.x[s.basis[i]] -= w[i]
 			}
 		}
 		if enter < 0 {
-			// No column can repair row r: the bound change made the LP
-			// primally infeasible.
-			return Infeasible, it
+			if rem > remTol {
+				// Every breakpoint is exhausted and row r is still
+				// infeasible: the dual is unbounded — the bound change made
+				// the LP primally infeasible. (Applied flips are valid
+				// bound-to-bound moves; the status discards the point.)
+				return Infeasible, it
+			}
+			// The flips alone repaired the row; no basis change needed
+			// (kept as a safety valve: the crossing-breakpoint rule above
+			// makes this branch unreachable in practice).
+			continue
 		}
 		s.ftran(enter, w)
 		alphaE := w[r]
-		if math.Abs(alphaE) < 1e-9 {
+		if math.Abs(alphaE) < s.alphaTol {
 			// Factorization drift: rebuild and retry the iteration. With
 			// a fresh factorization the pivot is genuinely degenerate —
-			// bail out to the cold path.
+			// bail out to the cold path. (Flips stay applied: they are
+			// consistent bound moves regardless of the factorization.)
 			if s.pivots == 0 {
 				return IterLimit, it
 			}
@@ -866,35 +1196,7 @@ func (s *spx) dual(maxIters int) (Status, int) {
 			s.computeXB()
 			continue
 		}
-		bi := s.basis[r]
-		target := s.ub[bi]
-		if below {
-			target = s.lb[bi]
-		}
 		delta := (s.x[bi] - target) / alphaE
-		// Bound-flipping ratio test (box-bounded dual simplex): when the
-		// full repair step would carry the entering column past its other
-		// bound, flip it there instead — no basis change — and let the
-		// next iteration continue repairing the leftover infeasibility
-		// with the remaining columns. Without this, entering columns overshoot
-		// their boxes and each pivot manufactures fresh infeasibilities.
-		if span := s.ub[enter] - s.lb[enter]; !math.IsInf(span, 1) && math.Abs(delta) > span+s.eps {
-			flip := span
-			if delta < 0 {
-				flip = -span
-			}
-			for i := 0; i < m; i++ {
-				s.x[s.basis[i]] -= flip * w[i]
-			}
-			if flip > 0 {
-				s.stat[enter] = atUpper
-				s.x[enter] = s.ub[enter]
-			} else {
-				s.stat[enter] = atLower
-				s.x[enter] = s.lb[enter]
-			}
-			continue
-		}
 		s.x[enter] += delta
 		for i := 0; i < m; i++ {
 			s.x[s.basis[i]] -= delta * w[i]
@@ -924,10 +1226,118 @@ func (s *spx) dual(maxIters int) (Status, int) {
 	return IterLimit, maxIters
 }
 
+// entryFixed reports whether column j has no usable span as an entering
+// column: truly fixed by the caller (lb == ub), or fixed up to the tiny
+// box the EXPAND perturbation opened around a fixed value. Perturbed
+// boxes exist to give *basic* degenerate variables room for nonzero-length
+// steps; entering a ~1e-9-wide box repairs nothing and burns the iteration
+// budget, so pricing and the dual entering scan still treat those columns
+// as fixed.
+func (s *spx) entryFixed(j int) bool {
+	if s.perturbed && j < s.nTot {
+		return s.lbTrue[j] == s.ubTrue[j]
+	}
+	return s.lb[j] == s.ub[j]
+}
+
+// boundScale is the relative scaling of the Harris feasibility band for a
+// bound b: bands are eps·max(1,|b|), so the flex a bound is allowed
+// matches the relative feasibility test instead of being absolute.
+func boundScale(b float64) float64 {
+	if a := math.Abs(b); a > 1 {
+		return a
+	}
+	return 1
+}
+
+// maxViolation returns the largest bound violation over the basic
+// variables (nonbasics sit exactly on bounds by construction).
+func (s *spx) maxViolation() float64 {
+	worst := 0.0
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		if v := s.lb[bi] - s.x[bi]; v > worst {
+			worst = v
+		}
+		if v := s.x[bi] - s.ub[bi]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// finish runs after a solve reaches optimality on the working bounds: it
+// removes the EXPAND shifts (restore the exact bounds, snap nonbasics to
+// the exact bounds, recompute basics from them) and then re-solves the
+// residuals away — a dual pass repairs bound violations beyond the
+// feasibility tolerance left by the shifts or the Harris bands, and a
+// primal pass repairs any dual infeasibility the dual band allowed. The
+// loop runs until the primal confirms optimality without pivoting (or a
+// small round cap). The shifts are ~1e-2·Eps, so in the common case the
+// restored basis is already feasible at the reporting tolerance and both
+// passes confirm in zero pivots; the reported point has nonbasics exactly
+// on the true bounds and basics solved exactly from them, bit-for-bit
+// reproducible for a given (matrix, basis, bounds, PerturbSeq).
+//
+// On Infeasible/IterLimit from the clean-up passes the point is accepted
+// as Optimal anyway when every bound violation is within the reporting
+// tolerance — tolerance-skipped pivot columns must not flip an optimal
+// node to infeasible over residual noise.
+func (s *spx) finish(budget int) (Status, int) {
+	if s.perturbed {
+		copy(s.lb[:s.nTot], s.lbTrue)
+		copy(s.ub[:s.nTot], s.ubTrue)
+		s.perturbed = false
+		for j := 0; j < s.nTot; j++ {
+			switch s.stat[j] {
+			case atLower:
+				if !math.IsInf(s.lb[j], -1) {
+					s.x[j] = s.lb[j]
+				}
+			case atUpper:
+				if !math.IsInf(s.ub[j], 1) {
+					s.x[j] = s.ub[j]
+				}
+			}
+		}
+		s.computeXB()
+	}
+	if s.costPerturbed {
+		for j := range s.obj2[:s.nTot] {
+			s.obj2[j] = 0
+		}
+		copy(s.obj2[:s.in.nStruct], s.in.obj)
+		s.costPerturbed = false
+	}
+	total := 0
+	for round := 0; round < 3; round++ {
+		st, it := s.dual(budget - total)
+		total += it
+		if st == Infeasible || st == IterLimit {
+			if s.aborted() || s.maxViolation() > s.eps {
+				return st, total
+			}
+			// Residuals below the reporting tolerance: accept.
+		}
+		st, it = s.primal(s.obj2, budget-total)
+		total += it
+		if st != Optimal {
+			return st, total
+		}
+		if it == 0 {
+			return Optimal, total
+		}
+	}
+	return Optimal, total
+}
+
 // result packages the current point, capturing the basis on optimality.
 func (s *spx) result(st Status, iters int, coldRestart bool) Result {
 	in := s.in
-	res := Result{Status: st, Iters: iters, ColdRestart: coldRestart}
+	res := Result{
+		Status: st, Iters: iters, ColdRestart: coldRestart,
+		Perturbed: s.didPerturb, CleanupIters: s.cleanupIters,
+	}
 	res.X = make([]float64, in.nStruct)
 	copy(res.X, s.x[:in.nStruct])
 	for j := 0; j < in.nStruct; j++ {

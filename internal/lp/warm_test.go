@@ -60,12 +60,30 @@ func TestSparseMatchesDenseRandom(t *testing.T) {
 			t.Logf("seed %d: sparse=%v dense=%v", seed, sp.Status, dn.Status)
 			return false
 		}
+		// Perturbation must be invisible in results: same status, same
+		// objective, no shift residue in the reported point.
+		spP := Solve(p, Options{Perturb: true, PerturbSeq: uint64(seed)})
+		if spP.Status != dn.Status {
+			t.Logf("seed %d: perturbed sparse=%v dense=%v", seed, spP.Status, dn.Status)
+			return false
+		}
 		if sp.Status != Optimal {
 			return true
 		}
 		if math.Abs(sp.Obj-dn.Obj) > 1e-9*(1+math.Abs(dn.Obj)) {
 			t.Logf("seed %d: sparse obj=%g dense obj=%g", seed, sp.Obj, dn.Obj)
 			return false
+		}
+		if math.Abs(spP.Obj-dn.Obj) > 1e-9*(1+math.Abs(dn.Obj)) {
+			t.Logf("seed %d: perturbed sparse obj=%g dense obj=%g", seed, spP.Obj, dn.Obj)
+			return false
+		}
+		for j := range spP.X {
+			if spP.X[j] < p.Lb[j]-1e-9 || spP.X[j] > p.Ub[j]+1e-9 {
+				t.Logf("seed %d: perturbed x[%d]=%g outside true bounds [%g,%g]",
+					seed, j, spP.X[j], p.Lb[j], p.Ub[j])
+				return false
+			}
 		}
 		return true
 	}

@@ -194,7 +194,26 @@ type Result struct {
 	// basis; ColdLPs counts cold solves (the root, nodes without a
 	// usable parent basis, and warm solves that fell back).
 	WarmLPs, ColdLPs int
+	// PerturbedLPs counts node relaxations solved under EXPAND bound
+	// perturbation (all of them unless Options.NoPerturb); CleanupIters is
+	// the share of SimplexIters spent removing the shifts and Harris
+	// tolerance residuals at the end of those solves.
+	PerturbedLPs int
+	CleanupIters int
 }
+
+// DefaultMaxModelRows is the shared default row ceiling above which the
+// scheduling front ends (internal/ilpsched, internal/bsp) skip the tree
+// search and keep the warm-start schedule. It was 2600 when warm dual
+// re-solves routinely stalled and fell back to cold solves; with the
+// Harris/BFRT ratio tests and EXPAND perturbation every warm re-solve on
+// the stall fixture finishes inside its budget, and the binding cost at
+// scale is the dense basis inverse (O(rows²) per simplex iteration), not
+// stalling. Measured on the registry workloads: a 2611-row model (pregel
+// P=3) solves its root relaxation in a few hundred iterations and enters
+// the search, while ≳3400-row models cannot finish a root solve within
+// interactive budgets — hence 3000.
+const DefaultMaxModelRows = 3000
 
 // Options controls the branch-and-bound search.
 type Options struct {
@@ -240,6 +259,13 @@ type Options struct {
 	// by the cross-check tests to pin the sparse/warm path against the
 	// original solver stack.
 	ReferenceLP bool
+	// NoPerturb disables the deterministic EXPAND bound perturbation of
+	// node relaxations (ablation and cross-check baseline). Perturbation
+	// is on by default: it is what keeps the dual re-solves from stalling
+	// on massively degenerate scheduling models, and it never changes
+	// reported solutions — shifts are removed before an LP result is
+	// returned.
+	NoPerturb bool
 }
 
 // Solve runs branch and bound, minimizing the model objective. The

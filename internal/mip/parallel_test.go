@@ -15,9 +15,10 @@ import (
 // status, exact solution bits, bound and every counter — so two runs can
 // be compared byte-for-byte.
 func solveSnapshot(res Result) string {
-	s := fmt.Sprintf("status=%v obj=%x bound=%x nodes=%d lps=%d iters=%d warm=%d cold=%d x=",
+	s := fmt.Sprintf("status=%v obj=%x bound=%x nodes=%d lps=%d iters=%d warm=%d cold=%d pert=%d clean=%d x=",
 		res.Status, math.Float64bits(res.Obj), math.Float64bits(res.Bound),
-		res.Nodes, res.LPs, res.SimplexIters, res.WarmLPs, res.ColdLPs)
+		res.Nodes, res.LPs, res.SimplexIters, res.WarmLPs, res.ColdLPs,
+		res.PerturbedLPs, res.CleanupIters)
 	for _, v := range res.X {
 		s += fmt.Sprintf("%x,", math.Float64bits(v))
 	}
@@ -76,6 +77,7 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		name      string
 		m         *Model
 		nodeLimit int
+		noPerturb bool
 	}
 	var fixtures []fixture
 	for seed := int64(0); seed < 12; seed++ {
@@ -94,6 +96,15 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 			fixture{name: fmt.Sprintf("mixed-%d-limit", seed), m: randomMixedModel(rng), nodeLimit: 25},
 		)
 	}
+	// The matrix above runs with EXPAND perturbation on (the default), so
+	// it already proves the perturbed path is worker-count independent; a
+	// NoPerturb leg proves the unperturbed path stayed deterministic too.
+	for seed := int64(100); seed < 104; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fixtures = append(fixtures, fixture{
+			name: fmt.Sprintf("mixed-%d-noperturb", seed), m: randomMixedModel(rng), noPerturb: true,
+		})
+	}
 
 	for _, fx := range fixtures {
 		var want string
@@ -104,6 +115,7 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 					TimeLimit: time.Minute,
 					NodeLimit: fx.nodeLimit,
 					Workers:   workers,
+					NoPerturb: fx.noPerturb,
 				})
 				got := solveSnapshot(res)
 				if want == "" {

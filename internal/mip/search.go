@@ -274,6 +274,12 @@ func (e *bbEngine) solveNode(w int, s *bbSlot) {
 	lpOpts := lp.Options{
 		MaxIters: e.opts.LPMaxIters, Deadline: e.deadline,
 		Cancel: e.opts.Cancel, FreshFactor: true,
+		// EXPAND perturbation keyed to the node's creation sequence: the
+		// shifts are a pure function of (matrix, seq), so the relaxation
+		// result stays a pure function of the node and the determinism
+		// argument above is untouched, while sibling relaxations do not
+		// share one unlucky shift pattern.
+		Perturb: !e.opts.NoPerturb, PerturbSeq: uint64(s.nd.seq),
 	}
 	switch {
 	case e.opts.ReferenceLP:
@@ -295,6 +301,10 @@ func (e *bbEngine) commit(s *bbSlot) {
 	res.Nodes++
 	res.LPs++
 	res.SimplexIters += lpRes.Iters
+	res.CleanupIters += lpRes.CleanupIters
+	if lpRes.Perturbed {
+		res.PerturbedLPs++
+	}
 	switch {
 	case e.opts.ReferenceLP, s.nd.basis == nil, e.opts.ColdStart, lpRes.ColdRestart:
 		res.ColdLPs++

@@ -41,6 +41,8 @@ type SolverStats struct {
 	SimplexIters int
 	WarmLPs      int
 	ColdLPs      int
+	PerturbedLPs int
+	CleanupIters int
 }
 
 func (st *SolverStats) add(res mip.Result) {
@@ -52,6 +54,8 @@ func (st *SolverStats) add(res mip.Result) {
 	st.SimplexIters += res.SimplexIters
 	st.WarmLPs += res.WarmLPs
 	st.ColdLPs += res.ColdLPs
+	st.PerturbedLPs += res.PerturbedLPs
+	st.CleanupIters += res.CleanupIters
 }
 
 // Bipartition splits g into two parts {0,1} such that the quotient graph

@@ -13,7 +13,13 @@
 #      warm/cold divergence, a warm-start regression, any Workers=4 vs
 #      Workers=1 divergence (the deterministic-node-accounting gate), or
 #      a parallel node-throughput regression against the previous
-#      BENCH_solver.json, and writes the new BENCH_solver.json.
+#      BENCH_solver.json, and writes the new BENCH_solver.json. The
+#      experiment also runs the degenerate-model leg — the P=1 k-means
+#      scheduling ILP that used to stall the warm dual re-solves — with
+#      hard gates on the anti-degeneracy wiring (perturbation reaching
+#      the tree search, cheap shift-removal clean-up) and a
+#      baseline-relative gate on its deterministic iteration and
+#      cold-fallback counts (skipped when the baseline predates the leg).
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -18,10 +18,13 @@
 #      parallel-solver gate. It exits nonzero on warm/cold solver
 #      divergence, if the warm-started path stops beating the cold path,
 #      if Workers=4 output diverges from Workers=1 in any way (partition,
-#      node accounting, iteration counts), or if parallel node throughput
+#      node accounting, iteration counts), if parallel node throughput
 #      regresses against the committed BENCH_solver.json (wall-clock
 #      speedup gates scale to GOMAXPROCS; the determinism gate is
-#      unconditional).
+#      unconditional), or if the degenerate-model leg — the P=1 k-means
+#      stall fixture — loses its EXPAND perturbation wiring or regresses
+#      its deterministic iteration / cold-fallback counts against the
+#      committed baseline.
 set -eu
 
 cd "$(dirname "$0")/.."
