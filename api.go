@@ -29,6 +29,7 @@ import (
 	"mbsp/internal/dnc"
 	"mbsp/internal/exact"
 	"mbsp/internal/experiments"
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/ilpsched"
 	model "mbsp/internal/mbsp"
@@ -131,6 +132,33 @@ type (
 	PortfolioCandidate = portfolio.Candidate
 	// PortfolioCandidateResult is one scheduler's outcome.
 	PortfolioCandidateResult = portfolio.CandidateResult
+	// AnytimeCertificate states what an anytime portfolio run is worth:
+	// cost, proven lower bound, relative gap, degradation rung, and the
+	// per-candidate completion/failure ledger.
+	AnytimeCertificate = portfolio.Certificate
+	// SchedulerFailure is one candidate's classified failure.
+	SchedulerFailure = portfolio.FailureRecord
+	// SchedulerFailureKind classifies why a candidate failed (timeout,
+	// cancellation, panic, invalid schedule, incumbent cutoff, error).
+	SchedulerFailureKind = portfolio.FailureKind
+	// SchedulerPanicError wraps a panic recovered from a candidate.
+	SchedulerPanicError = portfolio.PanicError
+	// FaultInjector is the seeded deterministic fault-injection harness
+	// (PortfolioOptions.Inject and the solver Options it threads to).
+	FaultInjector = faultinject.Injector
+	// FaultMode is one injectable fault class.
+	FaultMode = faultinject.Mode
+)
+
+// Fault-injection constructors (see internal/faultinject).
+var (
+	// NewFaultInjector builds an injector from a seed, per-decision rate
+	// (0 selects the default), injected latency (0 selects the default)
+	// and mode set (none selects all modes).
+	NewFaultInjector = faultinject.New
+	// ParseFaultModes parses a comma-separated mode list ("cold,singular",
+	// "latency", "cancel", or "all").
+	ParseFaultModes = faultinject.ParseModes
 )
 
 // DefaultCandidates returns every scheduler applicable to g on arch: the
@@ -146,9 +174,26 @@ func DefaultCandidates(g *DAG, arch Arch) []PortfolioCandidate {
 // nondeterminism: for a fixed opts.Seed, results are identical under any
 // GOMAXPROCS whenever the candidate budgets bind deterministically (use
 // opts.ILPNodeLimit instead of the wall-clock ILPTimeLimit for
-// byte-identical schedules). Cancelling ctx returns the best schedule
-// found so far.
+// byte-identical schedules).
+//
+// SchedulePortfolio is anytime: under deadlines, cancellation, exhausted
+// node budgets, candidate panics or individual scheduler failures it
+// still returns the best validated schedule obtainable — degrading, when
+// every candidate fails, to the synchronously recomputed two-stage
+// baseline — together with a populated Result.Certificate stating the
+// cost, a proven lower bound, the gap, and which candidates completed,
+// degraded or failed. An error is returned only when the instance admits
+// no valid schedule at all (or the options are unusable).
 func SchedulePortfolio(ctx context.Context, g *DAG, arch Arch, opts PortfolioOptions) (*PortfolioResult, error) {
+	return portfolio.RunAnytime(ctx, g, arch, opts)
+}
+
+// SchedulePortfolioStrict is SchedulePortfolio without the anytime
+// fallback ladder: when no candidate produces a valid schedule it
+// returns portfolio.ErrNoSchedule (and no certificate) instead of
+// degrading to the baseline. Use it when a degraded schedule is worse
+// than no schedule.
+func SchedulePortfolioStrict(ctx context.Context, g *DAG, arch Arch, opts PortfolioOptions) (*PortfolioResult, error) {
 	return portfolio.Run(ctx, g, arch, opts)
 }
 

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio|solver]
+//	mbsp-bench [-experiment all|table1|table2|table3|table4|figure4|p1|portfolio|solver|chaos]
 //	           [-dataset tiny|paper-tiny|paper-small] [-timeout 2s] [-budget 2000]
 //	           [-workers 0] [-mip-workers 0] [-incumbent]
+//	           [-deadline 0] [-fault-seed 0] [-fault-modes all] [-fault-rate 0]
 //	           [-csv out.csv] [-json out.json] [-baseline old.json]
 //
 // The experiment grid (instances × methods) runs concurrently over
@@ -22,6 +23,10 @@
 // total simplex iterations across the branch-and-bound trees the
 // registry workloads search, warm-started versus cold-started, failing
 // if the warm path stops winning or proven-optimal results diverge — and
+// the chaos experiment runs the anytime portfolio under a short -deadline
+// with every fault-injection mode enabled in turn (-fault-seed seeds the
+// deterministic harness), failing unless every instance still yields a
+// valid schedule with a populated certificate — and
 // the parallel engine: the same trees re-searched serially versus with a
 // -mip-workers pool (default 4), failing on any divergence in partition,
 // node count or iteration count, and on a node-throughput regression
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"mbsp/internal/experiments"
+	"mbsp/internal/faultinject"
 	"mbsp/internal/ilpsched"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/partition"
@@ -51,7 +57,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1, portfolio, solver")
+		exp       = flag.String("experiment", "all", "which experiment: all, table1, table2, table3, table4, figure4, p1, portfolio, solver, chaos")
 		dataset   = flag.String("dataset", "tiny", "dataset for table1/3/4/figure4/portfolio/solver: tiny, paper-tiny or paper-small")
 		timeout   = flag.Duration("timeout", 2*time.Second, "ILP time limit per instance")
 		budget    = flag.Int("budget", 2000, "local-search evaluation budget")
@@ -59,6 +65,10 @@ func main() {
 		workers   = flag.Int("workers", 1, "concurrent grid cells / portfolio schedulers (0: GOMAXPROCS); default sequential — concurrent solvers share the wall clock, so parallel table numbers are not comparable with sequential runs")
 		mipWork   = flag.Int("mip-workers", 0, "worker pool size inside each branch-and-bound tree; never changes results (0: serial for the grid, automatic budget for portfolio, 4 for the solver experiment's parallel leg)")
 		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
+		deadline  = flag.Duration("deadline", 0, "wall-clock deadline per portfolio/chaos instance; runs degrade gracefully instead of failing (0: none)")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault-injection harness (0: off for portfolio, 1 for chaos); same seed, same faults")
+		faultMode = flag.String("fault-modes", "all", "comma-separated injected fault classes: cold, singular, latency, cancel, or all")
+		faultRate = flag.Float64("fault-rate", 0, "per-decision injection probability (0: default)")
 		csvOut    = flag.String("csv", "", "also write the last table as CSV to this file")
 		jsonOut   = flag.String("json", "", "write portfolio/solver experiment results as JSON to this file")
 		baseline  = flag.String("baseline", "", "previous solver-experiment JSON: fail if the parallel node-throughput speedup regresses against it")
@@ -121,9 +131,19 @@ func main() {
 	case "p1":
 		run("p1", func() (*experiments.Table, error) { return experiments.SingleProcessor(insts, cfg) })
 	case "portfolio":
-		runPortfolio(insts, cfg, *dataset, *workers, *mipWork, *incumbent, *jsonOut)
+		var inj *faultinject.Injector
+		if *faultSeed != 0 {
+			inj = mustInjector(*faultSeed, *faultRate, *faultMode)
+		}
+		runPortfolio(insts, cfg, *dataset, *workers, *mipWork, *incumbent, *deadline, inj, *jsonOut)
 	case "solver":
 		runSolver(insts, *dataset, *timeout, *mipWork, *jsonOut, *baseline)
+	case "chaos":
+		seed := *faultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		runChaos(insts, cfg, *workers, *mipWork, *deadline, seed, *faultRate, *faultMode)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -181,6 +201,9 @@ type portfolioInstanceJSON struct {
 	Best       string               `json:"best"`
 	BestCost   float64              `json:"best_cost"`
 	ElapsedSec float64              `json:"elapsed_seconds"`
+	Rung       string               `json:"rung,omitempty"`
+	Gap        float64              `json:"gap,omitempty"`
+	Failed     int                  `json:"failed,omitempty"`
 	Candidates []portfolioCandsJSON `json:"candidates"`
 }
 
@@ -191,9 +214,11 @@ type portfolioCandsJSON struct {
 	Error      string  `json:"error,omitempty"`
 }
 
-// runPortfolio races the full scheduler portfolio on every instance and
-// reports per-scheduler cost and timing plus the win distribution.
-func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers, mipWorkers int, incumbent bool, jsonPath string) {
+// runPortfolio races the full scheduler portfolio on every instance under
+// the anytime contract and reports per-scheduler cost and timing plus the
+// win distribution; with -deadline or -fault-seed set, degraded runs still
+// produce a schedule and the certificate ledger is reported.
+func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset string, workers, mipWorkers int, incumbent bool, deadline time.Duration, inj *faultinject.Injector, jsonPath string) {
 	start := time.Now()
 	out := portfolioJSON{
 		Dataset:      dataset,
@@ -201,18 +226,28 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 	}
 	wins := map[string]int{}
 	fmt.Println("Portfolio: best-of-all-schedulers per instance")
+	if inj != nil {
+		fmt.Printf("fault injection: %v\n", inj)
+	}
 	fmt.Printf("%-20s%-18s%14s%10s\n", "Instance", "winner", "cost", "time")
 	for _, inst := range insts {
 		arch := cfg.Arch(inst.DAG)
-		res, err := portfolio.Run(context.Background(), inst.DAG, arch, portfolio.Options{
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+		}
+		res, err := portfolio.RunAnytime(ctx, inst.DAG, arch, portfolio.Options{
 			Model:                  cfg.Model,
 			Workers:                workers,
 			MIPWorkers:             mipWorkers,
 			ILPTimeLimit:           cfg.ILPTimeLimit,
 			LocalSearchBudget:      cfg.LocalSearchBudget,
 			Seed:                   cfg.Seed,
+			Inject:                 inj,
 			DisableSharedIncumbent: !incumbent,
 		})
+		cancel()
 		if err != nil {
 			fatal(fmt.Errorf("portfolio on %s: %w", inst.Name, err))
 		}
@@ -222,6 +257,14 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 		entry := portfolioInstanceJSON{
 			Instance: inst.Name, Best: res.BestName, BestCost: res.BestCost,
 			ElapsedSec: res.Elapsed.Seconds(),
+		}
+		if cert := res.Certificate; cert != nil {
+			entry.Rung = cert.Rung
+			entry.Gap = cert.Gap
+			entry.Failed = len(cert.Failed)
+			if cert.FallbackUsed || len(cert.Failed) > 0 {
+				fmt.Printf("  certificate: %v\n", cert)
+			}
 		}
 		for _, c := range res.Candidates {
 			cj := portfolioCandsJSON{Name: c.Name, ElapsedSec: c.Elapsed.Seconds()}
@@ -250,6 +293,83 @@ func runPortfolio(insts []workloads.Instance, cfg experiments.Config, dataset st
 			fatal(err)
 		}
 		fmt.Println("wrote", jsonPath)
+	}
+}
+
+// mustInjector builds a fault injector from the CLI flags or exits.
+func mustInjector(seed uint64, rate float64, modeList string) *faultinject.Injector {
+	modes, err := faultinject.ParseModes(modeList)
+	if err != nil {
+		fatal(err)
+	}
+	return faultinject.New(seed, rate, 0, modes...)
+}
+
+// runChaos is the acceptance harness for the anytime contract: for every
+// enabled fault-injection mode in turn (and once with all modes at once
+// when more than one is enabled), it runs the anytime portfolio on every
+// instance under a short wall-clock deadline and fails unless each run
+// returns a valid schedule with a populated certificate — never an error.
+// The injector is seeded, so a failing (mode, instance, seed) triple
+// reproduces exactly.
+func runChaos(insts []workloads.Instance, cfg experiments.Config, workers, mipWorkers int, deadline time.Duration, seed uint64, rate float64, modeList string) {
+	if deadline <= 0 {
+		deadline = 50 * time.Millisecond
+	}
+	modes, err := faultinject.ParseModes(modeList)
+	if err != nil {
+		fatal(err)
+	}
+	legs := make([][]faultinject.Mode, 0, len(modes)+1)
+	for _, m := range modes {
+		legs = append(legs, []faultinject.Mode{m})
+	}
+	if len(modes) > 1 {
+		legs = append(legs, modes)
+	}
+	start := time.Now()
+	failures := 0
+	fmt.Printf("Chaos: anytime portfolio under %v deadline, fault seed %d\n", deadline, seed)
+	for _, leg := range legs {
+		inj := faultinject.New(seed, rate, 0, leg...)
+		fmt.Printf("-- injecting %v\n", inj)
+		for _, inst := range insts {
+			arch := cfg.Arch(inst.DAG)
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			res, err := portfolio.RunAnytime(ctx, inst.DAG, arch, portfolio.Options{
+				Model:        cfg.Model,
+				Workers:      workers,
+				MIPWorkers:   mipWorkers,
+				ILPTimeLimit: cfg.ILPTimeLimit,
+				Seed:         cfg.Seed,
+				Inject:       inj,
+			})
+			cancel()
+			switch {
+			case err != nil:
+				fmt.Printf("%-20s ANYTIME VIOLATION: error %v\n", inst.Name, err)
+				failures++
+				continue
+			case res.Best == nil:
+				fmt.Printf("%-20s ANYTIME VIOLATION: nil schedule\n", inst.Name)
+				failures++
+				continue
+			case res.Certificate == nil:
+				fmt.Printf("%-20s ANYTIME VIOLATION: nil certificate\n", inst.Name)
+				failures++
+				continue
+			}
+			if verr := res.Best.Validate(); verr != nil {
+				fmt.Printf("%-20s ANYTIME VIOLATION: invalid schedule: %v\n", inst.Name, verr)
+				failures++
+				continue
+			}
+			fmt.Printf("%-20s%-18s %v\n", inst.Name, res.BestName, res.Certificate)
+		}
+	}
+	fmt.Printf("(chaos took %.1fs)\n\n", time.Since(start).Seconds())
+	if failures > 0 {
+		fatal(fmt.Errorf("chaos experiment: %d anytime-contract violations", failures))
 	}
 }
 

@@ -54,6 +54,10 @@ func main() {
 		mipWork   = flag.Int("mip-workers", 0, "worker pool size inside each branch-and-bound tree; results are identical for any value (0: GOMAXPROCS for -method ilp/dnc, automatic budget under -portfolio)")
 		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
 		solvStats = flag.Bool("solver-stats", false, "print solver-core counters (simplex iterations, warm/cold LP re-solves) for ILP-based methods")
+		deadline  = flag.Duration("deadline", 0, "overall wall-clock deadline; under -portfolio the run degrades gracefully and still prints the best schedule found (0: none)")
+		faultSeed = flag.Uint64("fault-seed", 0, "enable the deterministic fault-injection harness with this seed (0: off); same seed, same faults")
+		faultMode = flag.String("fault-modes", "all", "comma-separated injected fault classes: cold, singular, latency, cancel, or all")
+		faultRate = flag.Float64("fault-rate", 0, "per-decision injection probability (0: default)")
 	)
 	flag.Parse()
 
@@ -73,17 +77,36 @@ func main() {
 	fmt.Printf("dag %s: n=%d m=%d r0=%g\n", g.Name(), g.N(), g.M(), g.MinCache())
 	fmt.Printf("arch %v, model %v\n", arch, costModel)
 
+	var inject *mbsp.FaultInjector
+	if *faultSeed != 0 {
+		modes, merr := mbsp.ParseFaultModes(*faultMode)
+		if merr != nil {
+			fatal(merr)
+		}
+		inject = mbsp.NewFaultInjector(*faultSeed, *faultRate, 0, modes...)
+		fmt.Printf("fault injection: %v\n", inject)
+	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	var s *mbsp.Schedule
 	if *pfolio {
-		res, perr := mbsp.SchedulePortfolio(context.Background(), g, arch, mbsp.PortfolioOptions{
+		res, perr := mbsp.SchedulePortfolio(ctx, g, arch, mbsp.PortfolioOptions{
 			Model:                  costModel,
 			Workers:                *workers,
 			MIPWorkers:             *mipWork,
 			ILPTimeLimit:           *timeout,
 			Seed:                   *seed,
+			Inject:                 inject,
 			DisableSharedIncumbent: !*incumbent,
 		})
 		if perr != nil {
+			// Anytime contract: only an instance that admits no valid
+			// schedule at all (or unusable options) reaches this fatal.
 			fatal(perr)
 		}
 		fmt.Printf("portfolio: %d candidates, %d workers, %.2fs total\n",
@@ -97,8 +120,18 @@ func main() {
 			if c.Name == res.BestName {
 				marker = "*"
 			}
-			fmt.Printf("  %s %-16s cost %-12g (sync %g, async %g) in %.3fs\n",
-				marker, c.Name, c.Cost, c.SyncCost, c.AsyncCost, c.Elapsed.Seconds())
+			note := ""
+			if c.Degraded {
+				note = " [degraded]"
+			}
+			fmt.Printf("  %s %-16s cost %-12g (sync %g, async %g) in %.3fs%s\n",
+				marker, c.Name, c.Cost, c.SyncCost, c.AsyncCost, c.Elapsed.Seconds(), note)
+		}
+		if cert := res.Certificate; cert != nil {
+			fmt.Printf("certificate: %v\n", cert)
+			for _, f := range cert.Failed {
+				fmt.Printf("  failure %-16s %s\n", f.Candidate, f.Kind)
+			}
 		}
 		s = res.Best
 	} else {

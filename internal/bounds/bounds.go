@@ -34,8 +34,14 @@ type Report struct {
 //     superstep any non-empty schedule has.
 //
 // The asynchronous bound is Best without the Sync term.
-func LowerBound(g *graph.DAG, arch mbsp.Arch) Report {
+//
+// Returns graph.ErrCyclic (with a zero Report) for a cyclic input graph.
+func LowerBound(g *graph.DAG, arch mbsp.Arch) (Report, error) {
 	var r Report
+	order, err := g.TopoOrder()
+	if err != nil {
+		return r, err
+	}
 	// Source nodes are inputs, never computed: their ω does not count.
 	var totalComp float64
 	for v := 0; v < g.N(); v++ {
@@ -45,7 +51,6 @@ func LowerBound(g *graph.DAG, arch mbsp.Arch) Report {
 	}
 	r.WorkPerProc = totalComp / float64(arch.P)
 	// ω-weighted longest path over computed nodes only.
-	order := g.MustTopoOrder()
 	bl := make([]float64, g.N())
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
@@ -85,16 +90,26 @@ func LowerBound(g *graph.DAG, arch mbsp.Arch) Report {
 		r.Sync = arch.L
 	}
 	r.Best = max(r.WorkPerProc, r.CriticalPath, r.SinkSave, r.SourceLoad)
-	return r
+	return r, nil
 }
 
-// SyncLB returns the synchronous lower bound.
+// SyncLB returns the synchronous lower bound. A cyclic graph (which
+// admits no valid schedule) yields the trivial bound 0; call sites sit
+// behind graph/schedule validation, so the bound stays sound.
 func SyncLB(g *graph.DAG, arch mbsp.Arch) float64 {
-	r := LowerBound(g, arch)
+	r, err := LowerBound(g, arch)
+	if err != nil {
+		return 0
+	}
 	return max(r.Best, r.Sync)
 }
 
-// AsyncLB returns the asynchronous lower bound.
+// AsyncLB returns the asynchronous lower bound (0 for a cyclic graph,
+// like SyncLB).
 func AsyncLB(g *graph.DAG, arch mbsp.Arch) float64 {
-	return LowerBound(g, arch).Best
+	r, err := LowerBound(g, arch)
+	if err != nil {
+		return 0
+	}
+	return r.Best
 }

@@ -16,7 +16,10 @@ import (
 func TestLowerBoundChain(t *testing.T) {
 	g := graph.Chain(5) // source + 4 unit computes
 	arch := mbsp.Arch{P: 2, R: 100, G: 2, L: 3}
-	r := LowerBound(g, arch)
+	r, err := LowerBound(g, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.CriticalPath != 4 {
 		t.Fatalf("critical path %g want 4", r.CriticalPath)
 	}
@@ -93,7 +96,10 @@ func TestRandomSchedulesRespectLowerBound(t *testing.T) {
 		g := graph.RandomLayered("p", 3, 4, 0.4, 5, 4, seed)
 		p := 1 + int(seed%4+4)%4
 		arch := mbsp.Arch{P: p, R: 2 * g.MinCache(), G: 1, L: 5}
-		b := bsp.Cilk(g, p, seed)
+		b, berr := bsp.Cilk(g, p, seed)
+		if berr != nil {
+			return false
+		}
 		s, err := twostage.Convert(b, arch, memmgr.LRU{})
 		if err != nil {
 			return false

@@ -7,10 +7,22 @@ import (
 	"mbsp/internal/workloads"
 )
 
+// mustSched adapts the error-returning schedulers for tests that treat
+// any scheduler failure as fatal.
+func mustSched(t *testing.T) func(*Schedule, error) *Schedule {
+	return func(s *Schedule, err error) *Schedule {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
 func TestBSPgValidOnTinySet(t *testing.T) {
 	for _, inst := range workloads.Tiny() {
 		for _, p := range []int{1, 2, 4, 8} {
-			s := BSPg(inst.DAG, p, BSPgOptions{G: 1, L: 10})
+			s := mustSched(t)(BSPg(inst.DAG, p, BSPgOptions{G: 1, L: 10}))
 			if err := s.Validate(); err != nil {
 				t.Errorf("%s P=%d: %v", inst.Name, p, err)
 			}
@@ -24,7 +36,7 @@ func TestBSPgValidOnTinySet(t *testing.T) {
 func TestBSPgUsesMultipleProcessors(t *testing.T) {
 	// A wide DAG should engage more than one processor.
 	g := workloads.SpMV(10, 1)
-	s := BSPg(g, 4, BSPgOptions{G: 1, L: 10})
+	s := mustSched(t)(BSPg(g, 4, BSPgOptions{G: 1, L: 10}))
 	used := map[int]bool{}
 	for v := 0; v < g.N(); v++ {
 		if s.Proc[v] >= 0 {
@@ -38,8 +50,8 @@ func TestBSPgUsesMultipleProcessors(t *testing.T) {
 
 func TestBSPgBeatsSerialOnParallelWork(t *testing.T) {
 	g := workloads.SpMV(10, 1)
-	s4 := BSPg(g, 4, BSPgOptions{G: 1, L: 1})
-	s1 := BSPg(g, 1, BSPgOptions{G: 1, L: 1})
+	s4 := mustSched(t)(BSPg(g, 4, BSPgOptions{G: 1, L: 1}))
+	s1 := mustSched(t)(BSPg(g, 1, BSPgOptions{G: 1, L: 1}))
 	if s4.Cost(1, 1) >= s1.Cost(1, 1) {
 		t.Fatalf("P=4 cost %g not below P=1 cost %g", s4.Cost(1, 1), s1.Cost(1, 1))
 	}
@@ -47,8 +59,8 @@ func TestBSPgBeatsSerialOnParallelWork(t *testing.T) {
 
 func TestCilkValidAndDeterministic(t *testing.T) {
 	for _, inst := range workloads.Tiny()[:5] {
-		a := Cilk(inst.DAG, 4, 7)
-		b := Cilk(inst.DAG, 4, 7)
+		a := mustSched(t)(Cilk(inst.DAG, 4, 7))
+		b := mustSched(t)(Cilk(inst.DAG, 4, 7))
 		if err := a.Validate(); err != nil {
 			t.Fatalf("%s: %v", inst.Name, err)
 		}
@@ -138,7 +150,7 @@ func TestFromAssignmentEarliestSteps(t *testing.T) {
 	// the superstep.
 	g := graph.Chain(4)
 	proc := []int{-1, 0, 1, 0}
-	s := FromAssignment(g, 2, proc)
+	s := mustSched(t)(FromAssignment(g, 2, proc))
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -203,8 +215,8 @@ func TestComputeOrderRespectsAssignmentOrder(t *testing.T) {
 func TestILPBSPValidAndNotWorse(t *testing.T) {
 	for _, inst := range workloads.Tiny()[:4] {
 		g := inst.DAG
-		warm := BSPg(g, 2, BSPgOptions{G: 1, L: 10})
-		s := ILP(g, 2, ILPOptions{G: 1, L: 10, TimeLimit: 2e9})
+		warm := mustSched(t)(BSPg(g, 2, BSPgOptions{G: 1, L: 10}))
+		s := mustSched(t)(ILP(g, 2, ILPOptions{G: 1, L: 10, TimeLimit: 2e9}))
 		if err := s.Validate(); err != nil {
 			t.Fatalf("%s: %v", inst.Name, err)
 		}
@@ -224,7 +236,7 @@ func TestILPBSPFallsBackOnHugeModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := ILP(inst.DAG, 4, ILPOptions{G: 1, L: 10, MaxModelRows: 10})
+	s := mustSched(t)(ILP(inst.DAG, 4, ILPOptions{G: 1, L: 10, MaxModelRows: 10}))
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}

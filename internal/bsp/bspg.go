@@ -40,10 +40,16 @@ func (o BSPgOptions) withDefaults() BSPgOptions {
 // tie-broken by load balance; a superstep closes when the ready pool dries
 // up (all remaining ready nodes would need a value computed on another
 // processor in the current superstep) or the work quota is met.
-func BSPg(g *graph.DAG, p int, opts BSPgOptions) *Schedule {
+//
+// Returns ErrNoProgress (or graph.ErrCyclic for a cyclic input) instead
+// of a schedule when the greedy loop cannot place every node.
+func BSPg(g *graph.DAG, p int, opts BSPgOptions) (*Schedule, error) {
 	opts = opts.withDefaults()
 	s := NewSchedule(g, p)
-	bl := g.BottomLevels()
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
 
 	// unscheduledParents counts non-source parents not yet scheduled.
@@ -77,7 +83,11 @@ func BSPg(g *graph.DAG, p int, opts BSPgOptions) *Schedule {
 	// closure is driven mostly by cross-processor dependencies — but it
 	// stops one processor from hoarding an entire level.
 	levels := 0
-	for _, l := range g.Levels() {
+	lvls, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lvls {
 		levels = max(levels, l)
 	}
 	quota := opts.MaxStepWork * g.TotalComp() / float64(p) / float64(max(1, levels/2))
@@ -165,8 +175,8 @@ func BSPg(g *graph.DAG, p int, opts BSPgOptions) *Schedule {
 		}
 		step++
 		if step > 4*n+4 {
-			panic("bsp: BSPg failed to make progress")
+			return nil, ErrNoProgress
 		}
 	}
-	return s
+	return s, nil
 }

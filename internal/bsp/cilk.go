@@ -13,7 +13,10 @@ import (
 // enabled children to the bottom; an idle worker pops from its own
 // bottom, or steals from the top of a random victim. The simulation is
 // deterministic for a fixed seed.
-func Cilk(g *graph.DAG, p int, seed int64) *Schedule {
+//
+// Returns ErrDeadlock (or graph.ErrCyclic for a cyclic input) instead of
+// a schedule when the simulated execution stalls.
+func Cilk(g *graph.DAG, p int, seed int64) (*Schedule, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := g.N()
 	proc := make([]int, n)
@@ -37,7 +40,11 @@ func Cilk(g *graph.DAG, p int, seed int64) *Schedule {
 	// Initially enabled nodes are dealt round-robin, as if spawned by a
 	// root task.
 	w := 0
-	for _, v := range g.MustTopoOrder() {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range order {
 		if !g.IsSource(v) && remaining[v] == 0 {
 			deque[w] = append(deque[w], v)
 			w = (w + 1) % p
@@ -88,7 +95,7 @@ func Cilk(g *graph.DAG, p int, seed int64) *Schedule {
 	}
 	for done < compNodes {
 		if pq.Len() == 0 {
-			panic("bsp: cilk simulation deadlock")
+			return nil, ErrDeadlock
 		}
 		ev := heap.Pop(pq).(event)
 		busy[ev.w] = false

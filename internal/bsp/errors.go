@@ -1,0 +1,17 @@
+package bsp
+
+import "errors"
+
+// Typed scheduler failures. These used to be panics; they are now part
+// of the scheduler interface so the portfolio can classify a stage-1
+// failure, race past it, and still return an anytime result.
+var (
+	// ErrNoProgress is returned by BSPg when the greedy loop exceeds its
+	// superstep budget without scheduling every node — the symptom of an
+	// inconsistent ready set (e.g. a cyclic input graph).
+	ErrNoProgress = errors.New("bsp: BSPg failed to make progress")
+
+	// ErrDeadlock is returned by Cilk when the simulated work-stealing
+	// execution stalls with unfinished nodes and no pending events.
+	ErrDeadlock = errors.New("bsp: cilk simulation deadlock")
+)

@@ -3,6 +3,7 @@ package bsp
 import (
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/lp"
 	"mbsp/internal/mip"
@@ -22,6 +23,9 @@ type ILPOptions struct {
 	// MaxModelRows falls back to the BSPg schedule when the model would
 	// exceed this many rows. Default mip.DefaultMaxModelRows.
 	MaxModelRows int
+	// Inject threads the deterministic fault-injection harness into the
+	// branch-and-bound tree (mip.Options.Inject).
+	Inject *faultinject.Injector
 }
 
 // ILP formulates BSP scheduling (no memory constraints) as an integer
@@ -33,9 +37,13 @@ type ILPOptions struct {
 //	Σ_s maxwork_s + g·(total communicated volume) + L·(used supersteps),
 //
 // a volume-based relaxation of the h-relation cost that keeps the model
-// linear and compact. Falls back to the BSPg schedule when limits bind.
-func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
-	warm := BSPg(g, p, BSPgOptions{G: opts.G, L: opts.L})
+// linear and compact. Falls back to the BSPg schedule when limits bind;
+// errors only when the BSPg warm start itself fails.
+func ILP(g *graph.DAG, p int, opts ILPOptions) (*Schedule, error) {
+	warm, err := BSPg(g, p, BSPgOptions{G: opts.G, L: opts.L})
+	if err != nil {
+		return nil, err
+	}
 	if opts.TimeLimit == 0 {
 		opts.TimeLimit = 10 * time.Second
 	}
@@ -50,7 +58,7 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 		S = warm.NumSteps + 1
 	}
 	if warm.NumSteps > S {
-		return warm // cannot encode the warm start; stay with it
+		return warm, nil // cannot encode the warm start; stay with it
 	}
 
 	n := g.N()
@@ -172,7 +180,7 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 	}
 
 	if m.NumRows() > opts.MaxModelRows {
-		return warm
+		return warm, nil
 	}
 
 	// Warm start from BSPg.
@@ -242,13 +250,17 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 
 	res := m.Solve(mip.Options{
 		TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit,
-		WarmStart: ws, Workers: opts.Workers,
+		WarmStart: ws, Workers: opts.Workers, Inject: opts.Inject,
 	})
 	if res.X == nil {
-		return warm
+		return warm, nil
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return warm, nil // graph validated above; keep the warm fallback
 	}
 	out := NewSchedule(g, p)
-	for _, v := range g.MustTopoOrder() {
+	for _, v := range order {
 		if g.IsSource(v) {
 			continue
 		}
@@ -261,15 +273,15 @@ func ILP(g *graph.DAG, p int, opts ILPOptions) *Schedule {
 		}
 	}
 	// Compress away empty supersteps.
-	out = compress(out)
-	if out.Validate() != nil {
-		return warm
+	out, err = compress(out)
+	if err != nil || out.Validate() != nil {
+		return warm, nil
 	}
-	return out
+	return out, nil
 }
 
 // compress renumbers supersteps to remove empty ones.
-func compress(s *Schedule) *Schedule {
+func compress(s *Schedule) (*Schedule, error) {
 	usedSteps := map[int]bool{}
 	for v := 0; v < s.Graph.N(); v++ {
 		if s.Step[v] >= 0 {
@@ -284,11 +296,15 @@ func compress(s *Schedule) *Schedule {
 			next++
 		}
 	}
+	order, err := s.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	out := NewSchedule(s.Graph, s.P)
-	for _, v := range s.Graph.MustTopoOrder() {
+	for _, v := range order {
 		if s.Proc[v] >= 0 {
 			out.Assign(v, s.Proc[v], remap[s.Step[v]])
 		}
 	}
-	return out
+	return out, nil
 }

@@ -204,10 +204,15 @@ func (s *Schedule) Cost(g1, l float64) float64 {
 // FromAssignment converts a bare node→processor assignment into a valid
 // BSP schedule by computing the earliest superstep per node: a node
 // starts a new superstep whenever it depends on a value computed on a
-// different processor in the current superstep.
-func FromAssignment(g *graph.DAG, p int, proc []int) *Schedule {
+// different processor in the current superstep. Returns graph.ErrCyclic
+// for a cyclic input graph.
+func FromAssignment(g *graph.DAG, p int, proc []int) (*Schedule, error) {
 	s := NewSchedule(g, p)
-	for _, v := range g.MustTopoOrder() {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range order {
 		if g.IsSource(v) {
 			continue
 		}
@@ -224,7 +229,7 @@ func FromAssignment(g *graph.DAG, p int, proc []int) *Schedule {
 		}
 		s.Assign(v, proc[v], step)
 	}
-	return s
+	return s, nil
 }
 
 // Summary returns a short description of the schedule for logs.

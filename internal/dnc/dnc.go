@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mbsp/internal/bsp"
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/ilpsched"
 	"mbsp/internal/mbsp"
@@ -84,8 +85,12 @@ type Options struct {
 	// within a streamline-win of the bound — acceptable for a portfolio
 	// candidate whose result would at best tie.)
 	Incumbent *mip.Incumbent
-	Seed      int64
-	Logf      func(format string, args ...interface{})
+	// Inject threads the deterministic fault-injection harness into every
+	// branch-and-bound tree this run searches — the bipartition ILPs and
+	// each part's scheduling sub-ILP.
+	Inject *faultinject.Injector
+	Seed   int64
+	Logf   func(format string, args ...interface{})
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +146,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		TimeLimit:   opts.PartitionTimeLimit,
 		NodeLimit:   opts.PartitionNodeLimit,
 		Workers:     opts.MIPWorkers,
+		Inject:      opts.Inject,
 	})
 	if err != nil {
 		return nil, stats, fmt.Errorf("dnc: partitioning: %w", err)
@@ -264,7 +270,10 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 	if arch.P == 1 {
 		warm, err = twostage.ConvertExtra(bsp.DFS(sub), arch, memmgr.Clairvoyant{}, extraSaveList)
 	} else {
-		b := bsp.BSPg(sub, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		b, berr := bsp.BSPg(sub, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		if berr != nil {
+			return nil, fmt.Errorf("sub-baseline: %w", berr)
+		}
 		warm, err = twostage.ConvertExtra(b, arch, memmgr.Clairvoyant{}, extraSaveList)
 	}
 	if err != nil {
@@ -287,6 +296,7 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 		NodeLimit:         opts.SubNodeLimit,
 		MIPWorkers:        opts.MIPWorkers,
 		LocalSearchBudget: opts.LocalSearchBudget,
+		Inject:            opts.Inject,
 		Seed:              opts.Seed + int64(k),
 		Logf:              opts.Logf,
 	})

@@ -154,9 +154,12 @@ func CilkLRUMethod() Method {
 // scheduling plus the clairvoyant policy.
 func BSPILPBaseline() Method {
 	return Method{Name: "bsp-ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
-		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
+		b, err := bsp.ILP(g, arch.P, bsp.ILPOptions{
 			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit, Workers: cfg.MIPWorkers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		return twostage.Convert(b, arch, memmgr.Clairvoyant{})
 	}}
 }
@@ -164,9 +167,12 @@ func BSPILPBaseline() Method {
 // BSPILPPlusILP warm-starts the holistic ILP from the stronger baseline.
 func BSPILPPlusILP() Method {
 	return Method{Name: "bsp-ilp+ilp", Run: func(g *graph.DAG, arch mbsp.Arch, cfg Config) (*mbsp.Schedule, error) {
-		b := bsp.ILP(g, arch.P, bsp.ILPOptions{
+		b, err := bsp.ILP(g, arch.P, bsp.ILPOptions{
 			G: arch.G, L: arch.L, TimeLimit: cfg.ILPTimeLimit, Workers: cfg.MIPWorkers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		warm, err := twostage.Convert(b, arch, memmgr.Clairvoyant{})
 		if err != nil {
 			return nil, err

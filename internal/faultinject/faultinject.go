@@ -1,0 +1,225 @@
+// Package faultinject is a seeded, deterministic fault-injection harness
+// for the solver stack. An Injector makes pseudo-random but fully
+// reproducible yes/no decisions ("inject a fault here?") keyed on the
+// same (instance fingerprint, sequence number) machinery that drives the
+// solver's EXPAND perturbation: every decision is a pure function of
+// (Seed, fingerprint, sequence, mode), with no clock, global state, or
+// shared RNG stream. Chaos runs with the same seed are therefore
+// bitwise reproducible for any worker count — the property the
+// portfolio's determinism matrices assert even under injection.
+//
+// Supported fault classes (Mode):
+//
+//   - ColdFallback: a warm dual re-solve is forced onto its cold-restart
+//     path, as if the supplied basis were unusable;
+//   - SingularFactor: refactorization of a warm basis is reported
+//     singular, exercising the numerical-failure fallback;
+//   - NodeLatency: a branch-and-bound node solve sleeps briefly before
+//     solving, widening race windows and stressing wall-clock budgets;
+//   - SpuriousCancel: the branch-and-bound engine is cancelled at a
+//     deterministic wave boundary, as if the caller's context had fired.
+//
+// NodeLatency is timing-only (it never changes solver results); the
+// other three change which code path runs, never the bytes a
+// deterministic (node-limited) run produces.
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Mode identifies one injectable fault class.
+type Mode uint8
+
+// Fault classes.
+const (
+	ColdFallback Mode = iota
+	SingularFactor
+	NodeLatency
+	SpuriousCancel
+	numModes
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ColdFallback:
+		return "cold"
+	case SingularFactor:
+		return "singular"
+	case NodeLatency:
+		return "latency"
+	case SpuriousCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// AllModes lists every fault class, in declaration order.
+func AllModes() []Mode {
+	return []Mode{ColdFallback, SingularFactor, NodeLatency, SpuriousCancel}
+}
+
+// ParseModes parses a comma-separated list of mode names ("cold",
+// "singular", "latency", "cancel") or "all".
+func ParseModes(s string) ([]Mode, error) {
+	if strings.TrimSpace(s) == "" || s == "all" {
+		return AllModes(), nil
+	}
+	var modes []Mode
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "cold":
+			modes = append(modes, ColdFallback)
+		case "singular":
+			modes = append(modes, SingularFactor)
+		case "latency":
+			modes = append(modes, NodeLatency)
+		case "cancel":
+			modes = append(modes, SpuriousCancel)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown mode %q (want cold, singular, latency, cancel, or all)", tok)
+		}
+	}
+	return modes, nil
+}
+
+// DefaultRate is the per-decision injection probability used when a
+// caller enables injection without choosing a rate. High enough that
+// short chaos runs hit every enabled mode, low enough that forward
+// progress survives.
+const DefaultRate = 0.25
+
+// DefaultLatency is the sleep injected per NodeLatency hit.
+const DefaultLatency = 200 * time.Microsecond
+
+// Injector makes deterministic fault decisions. The zero value injects
+// nothing; a nil *Injector is valid and injects nothing, so callers may
+// thread it unconditionally. Injector is immutable after New and safe
+// for concurrent use.
+type Injector struct {
+	seed    uint64
+	rate    float64
+	latency time.Duration
+	mask    uint8
+}
+
+// New returns an Injector that injects each of the given modes with
+// probability rate per decision point. rate <= 0 selects DefaultRate;
+// latency <= 0 selects DefaultLatency. No modes means all modes.
+func New(seed uint64, rate float64, latency time.Duration, modes ...Mode) *Injector {
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if latency <= 0 {
+		latency = DefaultLatency
+	}
+	if len(modes) == 0 {
+		modes = AllModes()
+	}
+	inj := &Injector{seed: seed, rate: rate, latency: latency}
+	for _, m := range modes {
+		if m < numModes {
+			inj.mask |= 1 << m
+		}
+	}
+	return inj
+}
+
+// Seed returns the injector's seed (0 for a nil injector).
+func (inj *Injector) Seed() uint64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.seed
+}
+
+// Enabled reports whether mode m is injected at all.
+func (inj *Injector) Enabled(m Mode) bool {
+	return inj != nil && m < numModes && inj.mask&(1<<m) != 0
+}
+
+// Modes returns the enabled modes, in declaration order.
+func (inj *Injector) Modes() []Mode {
+	var out []Mode
+	for _, m := range AllModes() {
+		if inj.Enabled(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String describes the injector for logs and certificates.
+func (inj *Injector) String() string {
+	if inj == nil {
+		return "faultinject(off)"
+	}
+	names := make([]string, 0, numModes)
+	for _, m := range inj.Modes() {
+		names = append(names, m.String())
+	}
+	return fmt.Sprintf("faultinject(seed=%d rate=%g modes=%s)", inj.seed, inj.rate, strings.Join(names, ","))
+}
+
+// per-mode salts decorrelate the decision streams: a (fingerprint, seq)
+// pair hitting under one mode says nothing about the others.
+var modeSalt = [numModes]uint64{
+	ColdFallback:   0xc01dfa11c01dfa11,
+	SingularFactor: 0x516b1a4f4c704af3,
+	NodeLatency:    0x1a7e9c19a7e9c19b,
+	SpuriousCancel: 0x5ca9ce15ca9ce157,
+}
+
+// splitmix64 is the same finalizing mixer the EXPAND perturbation uses
+// (lp/perturb.go): full-avalanche, so consecutive sequence numbers give
+// uncorrelated decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hit is the single decision primitive: a pure function of
+// (seed, mode, fingerprint, sequence) compared against the rate.
+func (inj *Injector) hit(m Mode, fprint, seq uint64) bool {
+	if !inj.Enabled(m) {
+		return false
+	}
+	h := splitmix64(inj.seed ^ modeSalt[m] ^ splitmix64(fprint^(seq+1)*0x9e3779b97f4a7c15))
+	// Top 53 bits to a uniform float in [0,1).
+	return float64(h>>11)/(1<<53) < inj.rate
+}
+
+// ForceColdFallback reports whether the warm re-solve identified by
+// (fprint, seq) must take its cold-restart path.
+func (inj *Injector) ForceColdFallback(fprint, seq uint64) bool {
+	return inj.hit(ColdFallback, fprint, seq)
+}
+
+// SingularRefactor reports whether refactorization of the warm basis for
+// (fprint, seq) must be treated as singular.
+func (inj *Injector) SingularRefactor(fprint, seq uint64) bool {
+	return inj.hit(SingularFactor, fprint, seq)
+}
+
+// InjectedLatency returns the sleep to insert before solving the node
+// identified by (fprint, seq); 0 when the node is not hit.
+func (inj *Injector) InjectedLatency(fprint, seq uint64) time.Duration {
+	if inj.hit(NodeLatency, fprint, seq) {
+		return inj.latency
+	}
+	return 0
+}
+
+// CancelAt reports whether the search identified by fprint must observe
+// a spurious cancellation at the wave boundary whose next creation
+// sequence is seq.
+func (inj *Injector) CancelAt(fprint, seq uint64) bool {
+	return inj.hit(SpuriousCancel, fprint, seq)
+}

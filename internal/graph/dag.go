@@ -212,21 +212,16 @@ func (g *DAG) TopoOrder() ([]int, error) {
 	return order, nil
 }
 
-// MustTopoOrder is TopoOrder but panics on a cyclic graph. Use after
-// Validate.
-func (g *DAG) MustTopoOrder() []int {
-	o, err := g.TopoOrder()
-	if err != nil {
-		panic(err)
-	}
-	return o
-}
-
 // Levels returns, for each node, its level: sources are level 0 and
-// level(v) = 1 + max level over parents.
-func (g *DAG) Levels() []int {
+// level(v) = 1 + max level over parents. Returns ErrCyclic if the graph
+// is not acyclic.
+func (g *DAG) Levels() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	lvl := make([]int, g.N())
-	for _, v := range g.MustTopoOrder() {
+	for _, v := range order {
 		l := 0
 		for _, u := range g.in[v] {
 			if lvl[u]+1 > l {
@@ -235,14 +230,18 @@ func (g *DAG) Levels() []int {
 		}
 		lvl[v] = l
 	}
-	return lvl
+	return lvl, nil
 }
 
 // BottomLevels returns for each node the ω-weighted length of the longest
 // path from the node to any sink (including the node's own ω). This is the
-// classical "bottom level" priority used by list schedulers.
-func (g *DAG) BottomLevels() []float64 {
-	order := g.MustTopoOrder()
+// classical "bottom level" priority used by list schedulers. Returns
+// ErrCyclic if the graph is not acyclic.
+func (g *DAG) BottomLevels() ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	bl := make([]float64, g.N())
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
@@ -254,19 +253,23 @@ func (g *DAG) BottomLevels() []float64 {
 		}
 		bl[v] = best + g.comp[v]
 	}
-	return bl
+	return bl, nil
 }
 
 // CriticalPath returns the ω-weighted length of the longest path in the
-// DAG.
-func (g *DAG) CriticalPath() float64 {
+// DAG. Returns ErrCyclic if the graph is not acyclic.
+func (g *DAG) CriticalPath() (float64, error) {
+	bls, err := g.BottomLevels()
+	if err != nil {
+		return 0, err
+	}
 	best := 0.0
-	for _, b := range g.BottomLevels() {
+	for _, b := range bls {
 		if b > best {
 			best = b
 		}
 	}
-	return best
+	return best, nil
 }
 
 // MinCache returns r0, the minimal fast-memory capacity that admits a

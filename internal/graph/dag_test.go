@@ -104,7 +104,10 @@ func TestSourcesSinks(t *testing.T) {
 
 func TestLevels(t *testing.T) {
 	g := Diamond()
-	lv := g.Levels()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(lv, []int{0, 1, 1, 2}) {
 		t.Fatalf("levels=%v", lv)
 	}
@@ -112,13 +115,16 @@ func TestLevels(t *testing.T) {
 
 func TestBottomLevelsAndCriticalPath(t *testing.T) {
 	g := Diamond()
-	bl := g.BottomLevels()
+	bl, err := g.BottomLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// sink: 1; a,b: 2; source: 3
 	if bl[3] != 1 || bl[1] != 2 || bl[2] != 2 || bl[0] != 3 {
 		t.Fatalf("bottom levels=%v", bl)
 	}
-	if g.CriticalPath() != 3 {
-		t.Fatalf("critical path=%g", g.CriticalPath())
+	if cp, err := g.CriticalPath(); err != nil || cp != 3 {
+		t.Fatalf("critical path=%g err=%v", cp, err)
 	}
 }
 
@@ -258,7 +264,10 @@ func TestRandomLayeredReachability(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	lv := g.Levels()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := 0; v < g.N(); v++ {
 		if !g.IsSource(v) && lv[v] == 0 {
 			t.Fatalf("non-source node %d at level 0", v)
@@ -325,7 +334,10 @@ func TestQuotientWeightConservation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for it := 0; it < 30; it++ {
 		g := RandomDAG("p", 20, 0.2, 4, 5, 5, int64(it))
-		order := g.MustTopoOrder()
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
 		k := 2 + rng.Intn(3)
 		part := make([]int, g.N())
 		for i, v := range order {

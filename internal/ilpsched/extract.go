@@ -15,8 +15,12 @@ import (
 func (im *ilpModel) extract(x []float64) (*mbsp.Schedule, error) {
 	g, T, P := im.g, im.T, im.arch.P
 	n := g.N()
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	topoPos := make([]int, n)
-	for i, v := range g.MustTopoOrder() {
+	for i, v := range order {
 		topoPos[v] = i
 	}
 	on := func(j int) bool { return j >= 0 && x[j] > 0.5 }

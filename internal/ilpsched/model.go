@@ -1,6 +1,8 @@
 package ilpsched
 
 import (
+	"sort"
+
 	"mbsp/internal/graph"
 	"mbsp/internal/lp"
 	"mbsp/internal/mbsp"
@@ -299,7 +301,16 @@ func (im *ilpModel) addCoreConstraints(initialRed []map[int]bool) {
 	for _, v := range im.opts.NeedBlue {
 		need[v] = true
 	}
+	// Row order must not depend on map iteration order: the simplex breaks
+	// pivot ties by index, so a permuted model solves along a different
+	// (occasionally worse) path and perturbs the deterministic iteration
+	// counts the bench gates pin.
+	needList := make([]int, 0, len(need))
 	for v := range need {
+		needList = append(needList, v)
+	}
+	sort.Ints(needList)
+	for _, v := range needList {
 		if g.IsSource(v) {
 			continue // sources are always blue
 		}

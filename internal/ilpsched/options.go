@@ -22,6 +22,7 @@ import (
 	"context"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/mip"
 )
@@ -102,6 +103,9 @@ type Options struct {
 	Logf func(format string, args ...interface{})
 	// Seed drives the local-search heuristic.
 	Seed int64
+	// Inject threads the deterministic fault-injection harness into the
+	// branch-and-bound tree (mip.Options.Inject); nil disables injection.
+	Inject *faultinject.Injector
 }
 
 func (o Options) withDefaults() Options {

@@ -84,6 +84,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			ColdStart:       opts.LPColdStart,
 			ReferenceLP:     opts.LPReference,
 			NoPerturb:       opts.NoPerturb,
+			Inject:          opts.Inject,
 			SharedIncumbent: opts.Incumbent,
 			// Publish improving tree-search incumbents mid-search, but
 			// only after extraction and validation: the shared bound must

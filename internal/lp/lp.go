@@ -125,6 +125,9 @@ type Result struct {
 	// supplied basis (singular after bound changes, or the dual simplex
 	// stalled) and fell back to a cold solve.
 	ColdRestart bool
+	// Injected records that fault injection (Options.Inject) forced this
+	// solve onto a fallback path it would not otherwise have taken.
+	Injected bool
 	// Perturbed records that Options.Perturb shifted the working bounds
 	// during this solve; the shifts were removed before the result was
 	// reported (see CleanupIters).
@@ -182,6 +185,24 @@ type Options struct {
 	// number, so sibling relaxations do not share one unlucky shift
 	// pattern while determinism for any worker count is preserved.
 	PerturbSeq uint64
+	// Inject, when non-nil, applies deterministic fault injection to warm
+	// re-solves: a forced cold fallback or a simulated singular
+	// refactorization, each decided as a pure function of (instance
+	// fingerprint, PerturbSeq) so chaos runs are reproducible. See
+	// internal/faultinject for the standard implementation.
+	Inject FaultInjector
+}
+
+// FaultInjector is the narrow fault-injection hook SolveFrom consults.
+// It is an interface so that lp does not depend on the injection policy;
+// internal/faultinject.Injector implements it.
+type FaultInjector interface {
+	// ForceColdFallback forces the warm re-solve keyed by (fprint, seq)
+	// onto its cold-restart path, as if the basis were unusable.
+	ForceColdFallback(fprint, seq uint64) bool
+	// SingularRefactor makes refactorization of the warm basis for
+	// (fprint, seq) behave as if the basis matrix were singular.
+	SingularRefactor(fprint, seq uint64) bool
 }
 
 const defaultEps = 1e-7

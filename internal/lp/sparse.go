@@ -94,6 +94,11 @@ func Prepare(p *Problem) *Instance {
 	return in
 }
 
+// Fingerprint returns the instance's content hash: the per-matrix half of
+// the key under which the EXPAND perturbation and fault injection make
+// their deterministic decisions.
+func (in *Instance) Fingerprint() uint64 { return in.fprint }
+
 // Solve cold-solves the instance under the given structural bounds:
 // phase-1 artificial start, then primal simplex on the true objective.
 func (in *Instance) Solve(lb, ub []float64, opts Options) Result {
@@ -154,6 +159,15 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 		res.ColdRestart = true
 		return res
 	}
+	if opts.Inject != nil && opts.Inject.ForceColdFallback(in.fprint, opts.PerturbSeq) {
+		// Injected fault: pretend the supplied basis was unusable and take
+		// the cold-restart path. Decided purely from (fprint, PerturbSeq),
+		// so the same solve injects on every run and worker.
+		res := in.Solve(lb, ub, opts)
+		res.ColdRestart = true
+		res.Injected = true
+		return res
+	}
 	s := in.workspace(&opts)
 	hot := !opts.FreshFactor && basis == s.lastBasis && s.factorOK
 	s.lastBasis = nil
@@ -164,9 +178,14 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 	if opts.Perturb {
 		s.perturbCosts()
 	}
-	if !hot && !s.refactor() {
+	// Injected fault: treat refactorization of this basis as singular,
+	// exercising the same numerical-failure fallback a real singular basis
+	// would take.
+	singular := opts.Inject != nil && opts.Inject.SingularRefactor(in.fprint, opts.PerturbSeq)
+	if singular || (!hot && !s.refactor()) {
 		res := in.Solve(lb, ub, opts)
 		res.ColdRestart = true
+		res.Injected = singular
 		return res
 	}
 	s.computeXB()

@@ -90,7 +90,11 @@ func TestAsyncLeqSyncWhenLZero(t *testing.T) {
 func serialSchedule(t *testing.T, g *graph.DAG, a Arch) *Schedule {
 	t.Helper()
 	s := NewSchedule(g, a)
-	for _, v := range g.MustTopoOrder() {
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range order {
 		if g.IsSource(v) {
 			continue
 		}

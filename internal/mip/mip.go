@@ -24,6 +24,7 @@ import (
 	"math"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/lp"
 )
 
@@ -200,6 +201,16 @@ type Result struct {
 	// tolerance residuals at the end of those solves.
 	PerturbedLPs int
 	CleanupIters int
+	// InjectedFaults counts faults that Options.Inject actually fired
+	// during this solve: LP solves forced onto fallback paths plus
+	// injected spurious cancellations. Deterministic under node-limited
+	// runs, like every other counter.
+	InjectedFaults int
+	// Panics counts panics the search recovered from (per-node relaxation
+	// solves and the engine loop). A panicking node is treated as a failed
+	// relaxation: its subtree stays unexplored and the result is demoted
+	// exactly as for an LP iteration-limit node.
+	Panics int
 }
 
 // DefaultMaxModelRows is the shared default row ceiling above which the
@@ -266,6 +277,16 @@ type Options struct {
 	// reported solutions — shifts are removed before an LP result is
 	// returned.
 	NoPerturb bool
+	// Inject, when non-nil, enables the deterministic fault-injection
+	// harness: forced cold fallbacks and simulated singular
+	// refactorizations inside warm node re-solves (threaded to
+	// lp.Options.Inject), injected per-node latency before relaxation
+	// solves, and spurious cancellations at wave boundaries. Every
+	// decision is a pure function of (instance fingerprint, node creation
+	// sequence), so node-limited chaos runs stay byte-identical for any
+	// Workers value; only the latency mode interacts with wall-clock
+	// limits.
+	Inject *faultinject.Injector
 }
 
 // Solve runs branch and bound, minimizing the model objective. The
@@ -303,7 +324,22 @@ func (m *Model) Solve(opts Options) Result {
 	}
 
 	e := newEngine(m, &opts, &res, deadline, logf)
-	e.run()
+	func() {
+		// Panic containment: a panic escaping the serial wave loop (heap,
+		// commit, bound materialization) is converted into an aborted
+		// search that keeps the validated best-so-far incumbent instead of
+		// unwinding through the caller. Panics inside concurrent node
+		// solves are recovered per node in solveNode, which runs on worker
+		// goroutines where an escape would be fatal to the process.
+		defer func() {
+			if r := recover(); r != nil {
+				logf("branch-and-bound engine panic recovered: %v", r)
+				res.Panics++
+				e.aborted = true
+			}
+		}()
+		e.run()
+	}()
 
 	if e.aborted {
 		// Wall clock or cancellation cut the search: best-so-far

@@ -112,6 +112,11 @@ func (h *openHeap) Pop() interface{} {
 type bbSlot struct {
 	nd  *bbNode
 	res lp.Result
+	// panicked records that the relaxation solve panicked; panicVal is the
+	// recovered value for the log. The commit step treats such a node like
+	// an LP iteration-limit failure: no bound, no children, result demoted.
+	panicked bool
+	panicVal interface{}
 }
 
 // bbEngine holds the search state shared between the wave loop and the
@@ -202,6 +207,15 @@ func (e *bbEngine) run() {
 			e.aborted = true
 			return
 		}
+		// Injected spurious cancellation, keyed on (instance fingerprint,
+		// next creation sequence): wave boundaries and sequence numbers are
+		// deterministic under node limits, so the same chaos run cancels at
+		// the same boundary for any worker count.
+		if e.opts.Inject.CancelAt(e.insts[0].Fingerprint(), uint64(e.nextSeq)) {
+			e.res.InjectedFaults++
+			e.aborted = true
+			return
+		}
 		n := min(len(e.open), waveSize)
 		e.batch = e.batch[:0]
 		for i := 0; i < n; i++ {
@@ -255,6 +269,16 @@ func (e *bbEngine) solveWave() {
 // solveNode materializes the node's bounds from its ancestor chain and
 // solves the relaxation on worker w's private instance.
 func (e *bbEngine) solveNode(w int, s *bbSlot) {
+	// Panic containment: solveNode runs on wave worker goroutines, where
+	// an escaping panic kills the whole process. Recover here and let the
+	// serial commit step demote the node to a failed relaxation.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = true
+			s.panicVal = r
+			s.res = lp.Result{Status: lp.IterLimit}
+		}
+	}()
 	e.prepareWorker(w)
 	lb, ub := e.lb[w], e.ub[w]
 	copy(lb, e.m.prob.Lb)
@@ -281,6 +305,16 @@ func (e *bbEngine) solveNode(w int, s *bbSlot) {
 		// share one unlucky shift pattern.
 		Perturb: !e.opts.NoPerturb, PerturbSeq: uint64(s.nd.seq),
 	}
+	if e.opts.Inject != nil {
+		lpOpts.Inject = e.opts.Inject
+		// Injected latency: a deterministic subset of nodes sleeps before
+		// solving. Timing-only — the relaxation result is unchanged — so
+		// node-limited determinism is preserved; only wall-clock limits
+		// observe the difference.
+		if d := e.opts.Inject.InjectedLatency(e.insts[w].Fingerprint(), uint64(s.nd.seq)); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	switch {
 	case e.opts.ReferenceLP:
 		relax := &lp.Problem{Obj: e.m.prob.Obj, Lb: lb, Ub: ub, Rows: e.m.prob.Rows}
@@ -289,6 +323,17 @@ func (e *bbEngine) solveNode(w int, s *bbSlot) {
 		s.res = e.insts[w].Solve(lb, ub, lpOpts)
 	default:
 		s.res = e.insts[w].SolveFrom(s.nd.basis, lb, ub, lpOpts)
+		if s.res.Status == lp.IterLimit && !s.res.ColdRestart &&
+			!cancelled(e.opts.Cancel) && !time.Now().After(e.deadline) {
+			// The warm re-solve failed numerically (stalled primal after
+			// the dual handoff — SolveFrom's internal fallbacks cover the
+			// other cases) without being aborted by a wall-clock limit:
+			// retry cold once before the commit step marks the node failed.
+			prev := s.res.Iters
+			s.res = e.insts[w].Solve(lb, ub, lpOpts)
+			s.res.ColdRestart = true
+			s.res.Iters += prev
+		}
 	}
 }
 
@@ -304,6 +349,20 @@ func (e *bbEngine) commit(s *bbSlot) {
 	res.CleanupIters += lpRes.CleanupIters
 	if lpRes.Perturbed {
 		res.PerturbedLPs++
+	}
+	if lpRes.Injected {
+		res.InjectedFaults++
+	}
+	if s.panicked {
+		// The relaxation solve panicked (recovered in solveNode): treat the
+		// node as a failed relaxation — no bound, no children — and demote
+		// the result exactly as for an LP iteration-limit node.
+		e.logf("node %d: panic recovered: %v", res.Nodes, s.panicVal)
+		res.Panics++
+		res.ColdLPs++
+		s.nd.basis = nil
+		e.truncated = true
+		return
 	}
 	switch {
 	case e.opts.ReferenceLP, s.nd.basis == nil, e.opts.ColdStart, lpRes.ColdRestart:

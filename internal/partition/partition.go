@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/lp"
 	"mbsp/internal/mip"
@@ -31,6 +32,10 @@ type BipartitionOptions struct {
 	Workers int
 	// Stats, when non-nil, accumulates solver counters across solves.
 	Stats *SolverStats
+	// Inject, when non-nil, threads the deterministic fault-injection
+	// harness into the bipartition ILP's branch-and-bound tree
+	// (mip.Options.Inject).
+	Inject *faultinject.Injector
 }
 
 // SolverStats accumulates branch-and-bound solver counters across
@@ -112,7 +117,10 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 
 	// Warm start: topological prefix split.
 	ws := make([]float64, m.NumVars())
-	order := g.MustTopoOrder()
+	order, oerr := g.TopoOrder()
+	if oerr != nil {
+		return nil, 0, false, fmt.Errorf("partition: %w", oerr)
+	}
 	wsPart := make([]int, n)
 	for i, v := range order {
 		if i >= n-lo {
@@ -151,6 +159,7 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 	res := m.Solve(mip.Options{
 		TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit,
 		WarmStart: ws, ColdStart: opts.ColdStartLP, Workers: opts.Workers,
+		Inject: opts.Inject,
 	})
 	opts.Stats.add(res)
 	if res.X == nil {
@@ -175,12 +184,16 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 
 // GreedyBipartition is the heuristic fallback: a topological prefix split
 // at the position minimizing the cut subject to the balance bound.
-func GreedyBipartition(g *graph.DAG, minFraction float64) ([]int, int) {
+// Returns graph.ErrCyclic for a cyclic input graph.
+func GreedyBipartition(g *graph.DAG, minFraction float64) ([]int, int, error) {
 	if minFraction == 0 {
 		minFraction = 1.0 / 3.0
 	}
 	n := g.N()
-	order := g.MustTopoOrder()
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
 	lo := int(minFraction*float64(n) + 0.999999)
 	pos := make([]int, n)
 	for i, v := range order {
@@ -206,7 +219,7 @@ func GreedyBipartition(g *graph.DAG, minFraction float64) ([]int, int) {
 			part[v] = 1
 		}
 	}
-	return part, bestCut
+	return part, bestCut, nil
 }
 
 // RecursiveOptions configures Recursive.
@@ -230,7 +243,10 @@ type RecursiveOptions struct {
 	ColdStartLP bool
 	// Workers bounds each bipartition tree's relaxation-solving worker
 	// pool; the partitioning is identical for any value.
-	Workers     int
+	Workers int
+	// Inject threads the deterministic fault-injection harness into every
+	// bipartition tree.
+	Inject      *faultinject.Injector
 	greedyForce bool
 }
 
@@ -278,6 +294,7 @@ func Recursive(g *graph.DAG, opts RecursiveOptions) (Result, error) {
 				MinFraction: opts.MinFraction, TimeLimit: opts.TimeLimit,
 				NodeLimit: opts.NodeLimit, ColdStartLP: opts.ColdStartLP,
 				Workers: opts.Workers, Stats: &res.Solver,
+				Inject: opts.Inject,
 			})
 			res.ILPSolves++
 			if err == nil {
@@ -288,14 +305,18 @@ func Recursive(g *graph.DAG, opts RecursiveOptions) (Result, error) {
 			}
 		}
 		if part == nil {
-			part, _ = GreedyBipartition(sub, opts.MinFraction)
+			if p, _, gerr := GreedyBipartition(sub, opts.MinFraction); gerr == nil {
+				part = p
+			}
 		}
 		var a, b []int
-		for i, v := range orig {
-			if part[i] == 0 {
-				a = append(a, v)
-			} else {
-				b = append(b, v)
+		if part != nil {
+			for i, v := range orig {
+				if part[i] == 0 {
+					a = append(a, v)
+				} else {
+					b = append(b, v)
+				}
 			}
 		}
 		if len(a) == 0 || len(b) == 0 {

@@ -47,7 +47,10 @@ func TestBipartitionRespectsAcyclicity(t *testing.T) {
 
 func TestBipartitionBeatsOrMatchesGreedy(t *testing.T) {
 	for _, inst := range workloads.Tiny()[:6] {
-		_, gcut := GreedyBipartition(inst.DAG, 1.0/3)
+		_, gcut, gerr := GreedyBipartition(inst.DAG, 1.0/3)
+		if gerr != nil {
+			t.Fatalf("%s: %v", inst.Name, gerr)
+		}
 		_, icut, _, err := Bipartition(inst.DAG, BipartitionOptions{TimeLimit: 5 * time.Second})
 		if err != nil {
 			t.Fatalf("%s: %v", inst.Name, err)
@@ -60,7 +63,10 @@ func TestBipartitionBeatsOrMatchesGreedy(t *testing.T) {
 
 func TestGreedyBipartitionBalanced(t *testing.T) {
 	g := workloads.SpMV(10, 3)
-	part, cut := GreedyBipartition(g, 1.0/3)
+	part, cut, err := GreedyBipartition(g, 1.0/3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !g.IsAcyclicPartition(part, 2) {
 		t.Fatal("greedy produced cyclic quotient")
 	}

@@ -42,7 +42,7 @@ func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
 			pipelineCandidate("bspg+lru", func(opts Options) twostage.Pipeline {
 				return twostage.Pipeline{
 					Name: "BSPg+LRU",
-					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+					Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
 						return bsp.BSPg(g, p, bsp.BSPgOptions{G: arch.G, L: arch.L})
 					},
 					Policy: memmgr.LRU{},
@@ -51,7 +51,7 @@ func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
 			pipelineCandidate("cilk+clairvoyant", func(opts Options) twostage.Pipeline {
 				return twostage.Pipeline{
 					Name: "Cilk+clairvoyant",
-					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+					Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
 						return bsp.Cilk(g, p, candidateSeed(opts.Seed, "cilk+clairvoyant"))
 					},
 					Policy: memmgr.Clairvoyant{},
@@ -60,7 +60,7 @@ func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
 			pipelineCandidate("cilk+lru", func(opts Options) twostage.Pipeline {
 				return twostage.Pipeline{
 					Name: "Cilk+LRU",
-					Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+					Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
 						return bsp.Cilk(g, p, candidateSeed(opts.Seed, "cilk+lru"))
 					},
 					Policy: memmgr.LRU{},
@@ -77,7 +77,7 @@ func DefaultCandidates(g *graph.DAG, arch mbsp.Arch) []Candidate {
 		pipelineCandidate("dfs+lru", func(opts Options) twostage.Pipeline {
 			return twostage.Pipeline{
 				Name:   "DFS+LRU",
-				Stage1: func(g *graph.DAG, p int) *bsp.Schedule { return bsp.DFS(g) },
+				Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) { return bsp.DFS(g), nil },
 				Policy: memmgr.LRU{},
 			}
 		}),
@@ -119,6 +119,7 @@ func ILPCandidate() Candidate {
 			NodeLimit:         opts.ILPNodeLimit,
 			MIPWorkers:        opts.MIPWorkers,
 			LocalSearchBudget: opts.LocalSearchBudget,
+			Inject:            opts.Inject,
 			Seed:              candidateSeed(opts.Seed, "ilp"),
 		}
 		if sh := opts.shared; sh != nil {
@@ -146,6 +147,7 @@ func DNCCandidate(maxPart int) Candidate {
 			PartitionNodeLimit: opts.ILPNodeLimit,
 			MIPWorkers:         opts.MIPWorkers,
 			LocalSearchBudget:  opts.LocalSearchBudget / 4,
+			Inject:             opts.Inject,
 			Seed:               candidateSeed(opts.Seed, "dnc-ilp"),
 		}
 		if sh := opts.shared; sh != nil {

@@ -25,9 +25,11 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/mip"
@@ -81,6 +83,14 @@ type Options struct {
 	// Candidates overrides the scheduler set. Nil selects
 	// DefaultCandidates(g, arch).
 	Candidates []Candidate
+	// Inject threads the deterministic fault-injection harness
+	// (internal/faultinject) into every ILP-based candidate's solver
+	// stack: forced cold fallbacks and singular refactorizations in warm
+	// LP re-solves, injected node latency, and spurious branch-and-bound
+	// cancellations. Injection decisions are pure functions of (instance
+	// fingerprint, node sequence, seed), so node-limited chaos runs stay
+	// byte-identical. Nil disables injection.
+	Inject *faultinject.Injector
 	// DisableSharedIncumbent turns off the portfolio-wide shared
 	// incumbent. By default every candidate's validated cost — and, for
 	// the ILP, every incumbent found mid-search — feeds a monotone atomic
@@ -145,6 +155,10 @@ type CandidateResult struct {
 	Elapsed   time.Duration
 	Schedule  *mbsp.Schedule
 	Err       error
+	// Degraded records that the candidate's budget or the caller's
+	// context fired before its search finished: the schedule is a valid
+	// best-so-far result, not the candidate's full-budget answer.
+	Degraded bool
 }
 
 // Result is a full portfolio outcome.
@@ -164,6 +178,10 @@ type Result struct {
 	// did (best-so-far semantics).
 	Interrupted bool
 	Elapsed     time.Duration
+	// Certificate is the anytime-quality certificate: cost, proven lower
+	// bound, gap, degradation rung and per-candidate ledger. Populated by
+	// RunAnytime; nil after plain Run.
+	Certificate *Certificate
 }
 
 // ErrNoSchedule is returned when no candidate produced a valid schedule.
@@ -302,7 +320,18 @@ func runCandidate(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Option
 	}
 	start := time.Now()
 	out := CandidateResult{Name: c.Name, Cost: math.NaN()}
-	s, err := c.Run(cctx, g, arch, opts)
+	s, err := func() (s *mbsp.Schedule, err error) {
+		// Panic containment: a panicking candidate becomes a classified
+		// per-candidate failure (*PanicError) instead of unwinding the
+		// worker goroutine and killing the process; the race continues on
+		// the surviving candidates.
+		defer func() {
+			if r := recover(); r != nil {
+				s, err = nil, &PanicError{Candidate: c.Name, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return c.Run(cctx, g, arch, opts)
+	}()
 	out.Elapsed = time.Since(start)
 	switch {
 	case err != nil:
@@ -311,13 +340,16 @@ func runCandidate(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Option
 		out.Err = fmt.Errorf("portfolio: %s returned no schedule", c.Name)
 	default:
 		if verr := s.Validate(); verr != nil {
-			out.Err = fmt.Errorf("portfolio: %s produced invalid schedule: %w", c.Name, verr)
+			out.Err = fmt.Errorf("portfolio: %s produced %w: %v", c.Name, errInvalidSchedule, verr)
 			break
 		}
 		out.Schedule = s
 		out.SyncCost = s.SyncCost()
 		out.AsyncCost = s.AsyncCost()
 		out.Cost = s.Cost(opts.Model)
+		// A candidate that returned a valid schedule after its context
+		// fired was cut mid-search: best-so-far, not its full answer.
+		out.Degraded = cctx.Err() != nil
 		if opts.shared != nil {
 			// Feed the portfolio-wide bound so still-running candidates
 			// prune against this result (no-op when sealed).

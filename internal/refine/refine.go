@@ -86,7 +86,10 @@ func Improve(start *mbsp.Schedule, opts Options) Result {
 	// Candidate evaluation: assignment → BSP schedule → MBSP conversion.
 	eval := func(pr []int) (*mbsp.Schedule, float64, bool) {
 		res.Evals++
-		b := bsp.FromAssignment(g, arch.P, pr)
+		b, berr := bsp.FromAssignment(g, arch.P, pr)
+		if berr != nil {
+			return nil, 0, false
+		}
 		s, err := twostage.ConvertExtra(b, arch, opts.Policy, opts.ExtraSave)
 		if err != nil || s.Validate() != nil {
 			return nil, 0, false

@@ -134,7 +134,10 @@ func TestClairvoyantNotWorseThanLRUOnAverage(t *testing.T) {
 	var cl, lru float64
 	for _, inst := range workloads.Tiny() {
 		arch := archFor(inst.DAG, 4, 3)
-		b := bsp.BSPg(inst.DAG, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		b, berr := bsp.BSPg(inst.DAG, arch.P, bsp.BSPgOptions{G: arch.G, L: arch.L})
+		if berr != nil {
+			t.Fatal(berr)
+		}
 		sc, err := Convert(b, arch, memmgr.Clairvoyant{})
 		if err != nil {
 			t.Fatal(err)
@@ -169,7 +172,10 @@ func TestConvertAsyncCostComputable(t *testing.T) {
 
 func TestLargerCacheNeverIncreasesBaselineLoads(t *testing.T) {
 	for _, inst := range workloads.Tiny() {
-		b := bsp.BSPg(inst.DAG, 4, bsp.BSPgOptions{G: 1, L: 10})
+		b, berr := bsp.BSPg(inst.DAG, 4, bsp.BSPgOptions{G: 1, L: 10})
+		if berr != nil {
+			t.Fatal(berr)
+		}
 		var prevLoads = 1 << 30
 		for _, rf := range []float64{1, 2, 3, 5, 10} {
 			arch := archFor(inst.DAG, 4, rf)

@@ -1,6 +1,8 @@
 package twostage
 
 import (
+	"fmt"
+
 	"mbsp/internal/bsp"
 	"mbsp/internal/graph"
 	"mbsp/internal/mbsp"
@@ -11,13 +13,16 @@ import (
 // an eviction policy.
 type Pipeline struct {
 	Name   string
-	Stage1 func(g *graph.DAG, p int) *bsp.Schedule
+	Stage1 func(g *graph.DAG, p int) (*bsp.Schedule, error)
 	Policy memmgr.Policy
 }
 
 // Run executes the pipeline on g for the given architecture.
 func (pl Pipeline) Run(g *graph.DAG, arch mbsp.Arch) (*mbsp.Schedule, error) {
-	b := pl.Stage1(g, arch.P)
+	b, err := pl.Stage1(g, arch.P)
+	if err != nil {
+		return nil, fmt.Errorf("twostage: stage-1 scheduler %s: %w", pl.Name, err)
+	}
 	return Convert(b, arch, pl.Policy)
 }
 
@@ -26,7 +31,7 @@ func (pl Pipeline) Run(g *graph.DAG, arch mbsp.Arch) (*mbsp.Schedule, error) {
 func BSPgClairvoyant(g1, l float64) Pipeline {
 	return Pipeline{
 		Name: "BSPg+clairvoyant",
-		Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+		Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
 			return bsp.BSPg(g, p, bsp.BSPgOptions{G: g1, L: l})
 		},
 		Policy: memmgr.Clairvoyant{},
@@ -38,7 +43,7 @@ func BSPgClairvoyant(g1, l float64) Pipeline {
 func CilkLRU(seed int64) Pipeline {
 	return Pipeline{
 		Name: "Cilk+LRU",
-		Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
+		Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
 			return bsp.Cilk(g, p, seed)
 		},
 		Policy: memmgr.LRU{},
@@ -50,8 +55,8 @@ func CilkLRU(seed int64) Pipeline {
 func DFSClairvoyant() Pipeline {
 	return Pipeline{
 		Name: "DFS+clairvoyant",
-		Stage1: func(g *graph.DAG, p int) *bsp.Schedule {
-			return bsp.DFS(g)
+		Stage1: func(g *graph.DAG, p int) (*bsp.Schedule, error) {
+			return bsp.DFS(g), nil
 		},
 		Policy: memmgr.Clairvoyant{},
 	}

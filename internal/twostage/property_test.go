@@ -31,7 +31,11 @@ func TestConvertPropertyRandom(t *testing.T) {
 		if p == 1 {
 			b = bsp.DFS(g)
 		} else {
-			b = bsp.BSPg(g, p, bsp.BSPgOptions{G: arch.G, L: arch.L})
+			var berr error
+			b, berr = bsp.BSPg(g, p, bsp.BSPgOptions{G: arch.G, L: arch.L})
+			if berr != nil {
+				return false
+			}
 		}
 		for _, pol := range []memmgr.Policy{memmgr.Clairvoyant{}, memmgr.LRU{}} {
 			s, err := Convert(b, arch, pol)
@@ -60,7 +64,10 @@ func TestConvertPropertyRandom(t *testing.T) {
 func TestConvertMonotoneSegments(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		g := graph.RandomLayered("p", 3, 4, 0.4, 4, 4, seed)
-		b := bsp.BSPg(g, 2, bsp.BSPgOptions{G: 1, L: 10})
+		b, berr := bsp.BSPg(g, 2, bsp.BSPgOptions{G: 1, L: 10})
+		if berr != nil {
+			t.Fatal(berr)
+		}
 		var prevSteps = 1 << 30
 		for _, rf := range []float64{1, 2, 4, 8} {
 			arch := mbsp.Arch{P: 2, R: rf * g.MinCache(), G: 1, L: 10}

@@ -102,7 +102,10 @@ func TestSpMVStructure(t *testing.T) {
 
 func TestIteratedSpMVDepth(t *testing.T) {
 	g := IteratedSpMV(4, 3, 1)
-	lv := g.Levels()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	maxLv := 0
 	for _, l := range lv {
 		if l > maxLv {
@@ -122,7 +125,10 @@ func TestCGHasDotReductionsAndIterationChain(t *testing.T) {
 	}
 	// CG iterations serialize through alpha/beta scalars, so the DAG must
 	// be deep: at least 6 levels per iteration.
-	lv := g.Levels()
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
 	maxLv := 0
 	for _, l := range lv {
 		if l > maxLv {

@@ -9,11 +9,16 @@
 #      sparse/warm-started simplex against the dense cold-start
 #      reference, the GOMAXPROCS/worker-count determinism suite, and the
 #      parallel branch-and-bound determinism matrix)
-#   4. a short benchmark smoke: the portfolio experiment on the tiny
+#   4. the chaos leg: the anytime portfolio on the tiny dataset under a
+#      50ms deadline with the seeded fault-injection harness live,
+#      under -race, one leg per injection mode plus all modes at once —
+#      exits nonzero on any non-anytime error, missing certificate or
+#      invalid schedule (the graceful-degradation gate);
+#   5. a short benchmark smoke: the portfolio experiment on the tiny
 #      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
 #      timing per instance) so the portfolio's performance trajectory is
 #      comparable across PRs;
-#   5. the solver bench smoke (scripts/bench.sh): micro-benchmarks plus
+#   6. the solver bench smoke (scripts/bench.sh): micro-benchmarks plus
 #      the solver experiment emitting BENCH_solver.json — the
 #      parallel-solver gate. It exits nonzero on warm/cold solver
 #      divergence, if the warm-started path stops beating the cold path,
@@ -38,6 +43,10 @@ go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== chaos leg: anytime portfolio under fault injection (-race)"
+go run -race ./cmd/mbsp-bench -experiment chaos -dataset tiny \
+    -deadline 50ms -fault-seed 42
 
 echo "== bench smoke: BenchmarkPortfolio (1 iteration)"
 go test -run '^$' -bench '^BenchmarkPortfolio$' -benchtime 1x .
