@@ -37,6 +37,7 @@ import (
 	"mbsp/internal/portfolio"
 	"mbsp/internal/refine"
 	"mbsp/internal/twostage"
+	"mbsp/internal/wire"
 	"mbsp/internal/workloads"
 )
 
@@ -74,6 +75,19 @@ func WriteDAG(w io.Writer, g *DAG) error { return graph.Write(w, g) }
 
 // WriteDOT renders a DAG in Graphviz DOT format.
 func WriteDOT(w io.Writer, g *DAG) error { return graph.DOT(w, g) }
+
+// DAGParseError is the typed error ReadDAG returns for malformed input:
+// syntax errors, bad counts, non-finite or negative weights, self-loops.
+// Malformed input never panics. Cyclic inputs are reported as
+// ErrCyclicDAG instead. The canonical DAG identity used by the
+// scheduling service — (*DAG).Fingerprint (relabeling-invariant) and
+// (*DAG).ExactDigest (labeling-sensitive) — is preserved exactly across
+// a WriteDAG/ReadDAG round trip.
+type DAGParseError = graph.ParseError
+
+// ErrCyclicDAG reports that a parsed or constructed graph contains a
+// cycle.
+var ErrCyclicDAG = graph.ErrCyclic
 
 // Benchmark datasets (see DESIGN.md for the sizing note).
 var (
@@ -196,6 +210,35 @@ func SchedulePortfolio(ctx context.Context, g *DAG, arch Arch, opts PortfolioOpt
 func SchedulePortfolioStrict(ctx context.Context, g *DAG, arch Arch, opts PortfolioOptions) (*PortfolioResult, error) {
 	return portfolio.Run(ctx, g, arch, opts)
 }
+
+// Machine-readable results (the scheduling service's response shape,
+// shared with mbsp-sched -json so both surfaces emit diffable bytes).
+type (
+	// ScheduleResponse is the full machine-readable scheduling result:
+	// DAG identity (fingerprint + digest), architecture, costs, the
+	// anytime certificate, the per-candidate ledger and the schedule
+	// text. It contains no wall-clock timings, so two deterministic runs
+	// produce byte-identical responses.
+	ScheduleResponse = wire.Response
+	// ScheduleCertificateInfo is the certificate section of a
+	// ScheduleResponse.
+	ScheduleCertificateInfo = wire.CertificateInfo
+	// ScheduleCacheInfo is the per-request cache provenance the server
+	// stamps on responses (absent in CLI output).
+	ScheduleCacheInfo = wire.CacheInfo
+)
+
+// ScheduleResponse builders.
+var (
+	// NewScheduleResponse builds a response for a bare schedule produced
+	// by a single method.
+	NewScheduleResponse = wire.FromSchedule
+	// NewPortfolioResponse builds a response from a portfolio result,
+	// including the anytime certificate and candidate ledger.
+	NewPortfolioResponse = wire.FromResult
+	// CostModelName renders a cost model for the wire ("sync"/"async").
+	CostModelName = wire.ModelName
+)
 
 // DNCOptions configures the divide-and-conquer ILP scheduler.
 type DNCOptions = dnc.Options

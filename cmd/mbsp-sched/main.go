@@ -8,7 +8,7 @@
 //	           [-portfolio] [-workers 0] [-mip-workers 0]
 //	           [-incumbent] [-solver-stats]
 //	           [-p 4] [-rfactor 3] [-r 0] [-g 1] [-l 10]
-//	           [-model sync|async] [-timeout 5s] [-print]
+//	           [-model sync|async] [-timeout 5s] [-print] [-json]
 //
 // With -portfolio, every applicable scheduler races concurrently over a
 // bounded worker pool and the cheapest valid schedule wins; -method is
@@ -22,12 +22,21 @@
 // GOMAXPROCS for -method ilp/dnc and an automatic candidate/tree split
 // under -portfolio. The DAG comes either from a text file (see
 // internal/graph format) or from a named benchmark instance.
+//
+// With -json, stdout carries a single JSON document in the same shape as
+// the scheduling server's POST /v1/schedule response (modulo the
+// server-only cache stamp); the human-readable progress lines move to
+// stderr. A deterministic run (-portfolio with a node limit, or any
+// single method with a fixed seed) emits byte-identical JSON on every
+// invocation, which is what makes CLI and server output diffable.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -58,8 +67,15 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 0, "enable the deterministic fault-injection harness with this seed (0: off); same seed, same faults")
 		faultMode = flag.String("fault-modes", "all", "comma-separated injected fault classes: cold, singular, latency, cancel, or all")
 		faultRate = flag.Float64("fault-rate", 0, "per-decision injection probability (0: default)")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout (the server response shape); progress lines go to stderr")
 	)
 	flag.Parse()
+
+	// Under -json, stdout is reserved for the single JSON document.
+	var info io.Writer = os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
 
 	g, err := loadDAG(*dagFile, *instance)
 	if err != nil {
@@ -74,8 +90,8 @@ func main() {
 	if *model == "async" {
 		costModel = mbsp.Async
 	}
-	fmt.Printf("dag %s: n=%d m=%d r0=%g\n", g.Name(), g.N(), g.M(), g.MinCache())
-	fmt.Printf("arch %v, model %v\n", arch, costModel)
+	fmt.Fprintf(info, "dag %s: n=%d m=%d r0=%g\n", g.Name(), g.N(), g.M(), g.MinCache())
+	fmt.Fprintf(info, "arch %v, model %v\n", arch, costModel)
 
 	var inject *mbsp.FaultInjector
 	if *faultSeed != 0 {
@@ -84,7 +100,7 @@ func main() {
 			fatal(merr)
 		}
 		inject = mbsp.NewFaultInjector(*faultSeed, *faultRate, 0, modes...)
-		fmt.Printf("fault injection: %v\n", inject)
+		fmt.Fprintf(info, "fault injection: %v\n", inject)
 	}
 	ctx := context.Background()
 	if *deadline > 0 {
@@ -94,8 +110,11 @@ func main() {
 	}
 
 	var s *mbsp.Schedule
+	var res *mbsp.PortfolioResult
+	winner := *method
 	if *pfolio {
-		res, perr := mbsp.SchedulePortfolio(ctx, g, arch, mbsp.PortfolioOptions{
+		var perr error
+		res, perr = mbsp.SchedulePortfolio(ctx, g, arch, mbsp.PortfolioOptions{
 			Model:                  costModel,
 			Workers:                *workers,
 			MIPWorkers:             *mipWork,
@@ -109,11 +128,11 @@ func main() {
 			// schedule at all (or unusable options) reaches this fatal.
 			fatal(perr)
 		}
-		fmt.Printf("portfolio: %d candidates, %d workers, %.2fs total\n",
+		fmt.Fprintf(info, "portfolio: %d candidates, %d workers, %.2fs total\n",
 			len(res.Candidates), res.Workers, res.Elapsed.Seconds())
 		for _, c := range res.Candidates {
 			if c.Err != nil {
-				fmt.Printf("  %-18s failed: %v\n", c.Name, c.Err)
+				fmt.Fprintf(info, "  %-18s failed: %v\n", c.Name, c.Err)
 				continue
 			}
 			marker := " "
@@ -124,22 +143,23 @@ func main() {
 			if c.Degraded {
 				note = " [degraded]"
 			}
-			fmt.Printf("  %s %-16s cost %-12g (sync %g, async %g) in %.3fs%s\n",
+			fmt.Fprintf(info, "  %s %-16s cost %-12g (sync %g, async %g) in %.3fs%s\n",
 				marker, c.Name, c.Cost, c.SyncCost, c.AsyncCost, c.Elapsed.Seconds(), note)
 		}
 		if cert := res.Certificate; cert != nil {
-			fmt.Printf("certificate: %v\n", cert)
+			fmt.Fprintf(info, "certificate: %v\n", cert)
 			for _, f := range cert.Failed {
-				fmt.Printf("  failure %-16s %s\n", f.Candidate, f.Kind)
+				fmt.Fprintf(info, "  failure %-16s %s\n", f.Candidate, f.Kind)
 			}
 		}
 		s = res.Best
+		winner = res.BestName
 	} else {
 		mw := *mipWork
 		if mw == 0 {
 			mw = runtime.GOMAXPROCS(0)
 		}
-		s, err = runMethod(*method, g, arch, costModel, *timeout, *seed, mw, *solvStats)
+		s, err = runMethod(info, *method, g, arch, costModel, *timeout, *seed, mw, *solvStats)
 		if err != nil {
 			fatal(err)
 		}
@@ -147,17 +167,32 @@ func main() {
 	if err := s.Validate(); err != nil {
 		fatal(fmt.Errorf("produced schedule invalid: %w", err))
 	}
-	fmt.Printf("supersteps: %d\n", s.NumSupersteps())
+	fmt.Fprintf(info, "supersteps: %d\n", s.NumSupersteps())
 	comp, save, load, del := s.Ops()
-	fmt.Printf("ops: %d computes, %d saves, %d loads, %d deletes\n", comp, save, load, del)
-	fmt.Printf("sync cost:  %g\n", s.SyncCost())
-	fmt.Printf("async cost: %g\n", s.AsyncCost())
-	if *print {
+	fmt.Fprintf(info, "ops: %d computes, %d saves, %d loads, %d deletes\n", comp, save, load, del)
+	fmt.Fprintf(info, "sync cost:  %g\n", s.SyncCost())
+	fmt.Fprintf(info, "async cost: %g\n", s.AsyncCost())
+	if *jsonOut {
+		var resp *mbsp.ScheduleResponse
+		if res != nil {
+			resp, err = mbsp.NewPortfolioResponse(g, arch, costModel, res)
+		} else {
+			resp, err = mbsp.NewScheduleResponse(g, arch, costModel, winner, s)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+	} else if *print {
 		fmt.Print(s)
 	}
 }
 
-func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64, mipWorkers int, solvStats bool) (*mbsp.Schedule, error) {
+func runMethod(info io.Writer, method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostModel, timeout time.Duration, seed int64, mipWorkers int, solvStats bool) (*mbsp.Schedule, error) {
 	var s *mbsp.Schedule
 	var err error
 	switch method {
@@ -171,11 +206,11 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 			Model: costModel, TimeLimit: timeout, Seed: seed, MIPWorkers: mipWorkers,
 		})
 		if err == nil {
-			fmt.Printf("ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
+			fmt.Fprintf(info, "ilp: vars=%d rows=%d status=%s nodes=%d warm=%g final=%g source=%s\n",
 				stats.ModelVars, stats.ModelRows, stats.ILPStatus, stats.ILPNodes,
 				stats.WarmCost, stats.FinalCost, stats.Source)
 			if solvStats {
-				fmt.Printf("solver: simplex-iters=%d lp-resolves warm=%d cold=%d\n",
+				fmt.Fprintf(info, "solver: simplex-iters=%d lp-resolves warm=%d cold=%d\n",
 					stats.SimplexIters, stats.WarmLPs, stats.ColdLPs)
 			}
 		}
@@ -185,7 +220,7 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 			Model: costModel, SubTimeLimit: timeout, Seed: seed, MIPWorkers: mipWorkers,
 		})
 		if err == nil {
-			fmt.Printf("dnc: parts=%d cut=%d streamline-win=%g\n",
+			fmt.Fprintf(info, "dnc: parts=%d cut=%d streamline-win=%g\n",
 				stats.Parts, stats.CutEdges, stats.StreamlineWin)
 			if solvStats {
 				warm, cold := stats.PartitionSolver.WarmLPs, stats.PartitionSolver.ColdLPs
@@ -193,7 +228,7 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 					warm += st.WarmLPs
 					cold += st.ColdLPs
 				}
-				fmt.Printf("solver: simplex-iters=%d (partition %d) lp-resolves warm=%d cold=%d\n",
+				fmt.Fprintf(info, "solver: simplex-iters=%d (partition %d) lp-resolves warm=%d cold=%d\n",
 					stats.SimplexIters, stats.PartitionSolver.SimplexIters, warm, cold)
 			}
 		}
@@ -202,7 +237,7 @@ func runMethod(method string, g *mbsp.DAG, arch mbsp.Arch, costModel mbsp.CostMo
 		res, err = mbsp.SolveExactP1(g, arch.R, arch.G)
 		if err == nil {
 			s = res.Schedule
-			fmt.Printf("exact: optimal cost %g (%d states explored)\n", res.Cost, res.States)
+			fmt.Fprintf(info, "exact: optimal cost %g (%d states explored)\n", res.Cost, res.States)
 		}
 	default:
 		return nil, fmt.Errorf("unknown method %q", method)

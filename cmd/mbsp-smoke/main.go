@@ -1,0 +1,199 @@
+// Command mbsp-smoke is the end-to-end smoke client for mbsp-served,
+// driven by scripts/serve_smoke.sh as part of scripts/verify.sh. It
+// exercises the serving contract against a live server:
+//
+//  1. /healthz answers;
+//  2. a cold POST /v1/schedule returns a full-fidelity (rung
+//     "portfolio") response;
+//  3. an identical second POST is a cache hit with a byte-identical
+//     schedule and certificate, well inside its request deadline;
+//  4. /v1/stats reflects the hit;
+//  5. SIGTERM while a request is in flight drains gracefully: the
+//     request still completes with 200 and the process exits cleanly
+//     (the exit code is asserted by the driving script).
+//
+// Exits nonzero with a diagnostic on the first violated assertion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"strconv"
+	"syscall"
+	"time"
+
+	"mbsp"
+	"mbsp/internal/wire"
+)
+
+func main() {
+	var (
+		base     = flag.String("base", "", "server base URL (http://host:port)")
+		pid      = flag.Int("pid", 0, "server process id; when set, the drain leg SIGTERMs it mid-request")
+		instance = flag.String("instance", "spmv_N6", "registry instance to schedule")
+	)
+	flag.Parse()
+	if *base == "" {
+		fatal(fmt.Errorf("-base is required"))
+	}
+
+	inst, err := mbsp.InstanceByName(*instance)
+	if err != nil {
+		fatal(err)
+	}
+	var dag bytes.Buffer
+	if err := mbsp.WriteDAG(&dag, inst.DAG); err != nil {
+		fatal(err)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// 1. Liveness.
+	waitHealthy(client, *base)
+	fmt.Println("smoke: healthz ok")
+
+	// 2. Cold run.
+	cold := postSchedule(client, *base, "p=2&rfactor=3", dag.Bytes())
+	if cold.Cache == nil || cold.Cache.Provenance != "cold" {
+		fatal(fmt.Errorf("first request not cold: %+v", cold.Cache))
+	}
+	if cold.Certificate == nil || cold.Certificate.Rung != "portfolio" {
+		fatal(fmt.Errorf("cold run not full-fidelity: %+v", cold.Certificate))
+	}
+	fmt.Printf("smoke: cold run ok (winner %s, cost %g)\n", cold.Winner, cold.Cost)
+
+	// 3. Cache hit: byte-identical and fast.
+	const deadlineMS = 2000
+	start := time.Now()
+	hit := postSchedule(client, *base, fmt.Sprintf("p=2&rfactor=3&deadline_ms=%d", deadlineMS), dag.Bytes())
+	elapsed := time.Since(start)
+	if hit.Cache == nil || !hit.Cache.Hit || hit.Cache.Provenance != "hit" {
+		fatal(fmt.Errorf("second request not a cache hit: %+v", hit.Cache))
+	}
+	if hit.Schedule != cold.Schedule {
+		fatal(fmt.Errorf("cache hit schedule differs from cold run"))
+	}
+	if !reflect.DeepEqual(hit.Certificate, cold.Certificate) {
+		fatal(fmt.Errorf("cache hit certificate differs from cold run"))
+	}
+	if elapsed >= deadlineMS*time.Millisecond {
+		fatal(fmt.Errorf("cache hit took %v, deadline %dms", elapsed, deadlineMS))
+	}
+	fmt.Printf("smoke: cache hit ok (identical bytes, %v)\n", elapsed)
+
+	// 4. Stats reflect the traffic.
+	var stats struct {
+		Cache struct {
+			Hits int64 `json:"hits"`
+			Runs int64 `json:"runs"`
+		} `json:"cache"`
+	}
+	getJSON(client, *base+"/v1/stats", &stats)
+	if stats.Cache.Hits < 1 || stats.Cache.Runs != 1 {
+		fatal(fmt.Errorf("stats disagree with traffic: %+v", stats.Cache))
+	}
+	fmt.Println("smoke: stats ok")
+
+	// 5. Graceful drain: a request for a fresh key races a SIGTERM. The
+	// HTTP server must finish serving it before exiting.
+	if *pid > 0 {
+		type outcome struct {
+			resp *wire.Response
+			err  error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			r, err := tryPostSchedule(client, *base, "p=3&rfactor=3", dag.Bytes())
+			done <- outcome{r, err}
+		}()
+		time.Sleep(100 * time.Millisecond)
+		if err := syscall.Kill(*pid, syscall.SIGTERM); err != nil {
+			fatal(fmt.Errorf("signaling server: %w", err))
+		}
+		o := <-done
+		if o.err != nil {
+			fatal(fmt.Errorf("in-flight request not drained: %w", o.err))
+		}
+		if o.resp.Schedule == "" {
+			fatal(fmt.Errorf("drained request returned no schedule"))
+		}
+		fmt.Println("smoke: graceful drain ok")
+	}
+	fmt.Println("smoke: OK")
+}
+
+func waitHealthy(client *http.Client, base string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("server never became healthy: %v", err))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func tryPostSchedule(client *http.Client, base, query string, dag []byte) (*wire.Response, error) {
+	resp, err := client.Post(base+"/v1/schedule?"+query, "text/plain", bytes.NewReader(dag))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: %d: %s", query, resp.StatusCode, data)
+	}
+	var r wire.Response
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("POST %s: bad JSON: %w", query, err)
+	}
+	if ms := resp.Header.Get("X-Mbsp-Elapsed-Ms"); ms != "" {
+		if _, err := strconv.ParseFloat(ms, 64); err != nil {
+			return nil, fmt.Errorf("bad X-Mbsp-Elapsed-Ms %q", ms)
+		}
+	}
+	return &r, nil
+}
+
+func postSchedule(client *http.Client, base, query string, dag []byte) *wire.Response {
+	r, err := tryPostSchedule(client, base, query, dag)
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func getJSON(client *http.Client, url string, v interface{}) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %d", url, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatal(fmt.Errorf("GET %s: bad JSON: %w", url, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbsp-smoke: FAIL:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Canonical DAG fingerprinting for the scheduling service.
+//
+// Fingerprint hashes the scheduling-relevant content of a DAG — topology
+// plus the per-node weights (ω, μ) — into 64 bits, invariant to the order
+// in which nodes and edges were inserted: any relabeling of the node ids
+// that preserves the structure and weights yields the same value. It is
+// the cache key prefix of internal/schedcache and the identity that later
+// incremental-rescheduling work keys on. Names and node labels are
+// excluded: they never influence a schedule.
+//
+// The construction is a two-direction Merkle pass. A forward pass over a
+// topological order assigns each node a "down" hash from its weights and
+// the sorted multiset of its parents' down hashes; a backward pass
+// assigns an "up" hash from the weights and the sorted multiset of the
+// children's up hashes. A node's combined hash mixes both directions, so
+// it encodes the node's full ancestry and posterity, and the fingerprint
+// is a hash of the sorted multiset of combined node hashes together with
+// n and m. Sorting the multisets at every step is what buys relabeling
+// invariance; like any hash, distinct DAGs may collide, so consumers that
+// need exactness (the schedule cache) pair it with ExactDigest.
+//
+// ExactDigest hashes the same content labeling-sensitively: per-node
+// weights in id order plus the sorted edge list. It is invariant to edge
+// *insertion* order (two clients streaming the same graph with edges in a
+// different order agree) but not to node relabeling, which is exactly the
+// guard the cache needs before serving a stored schedule whose ops name
+// node ids of the original request.
+
+// Fingerprint returns the canonical structural fingerprint of the DAG:
+// a 64-bit hash of topology and weights, invariant to node insertion
+// order (relabeling) and edge insertion order.
+func (g *DAG) Fingerprint() uint64 {
+	n := g.N()
+	order, err := g.TopoOrder()
+	if err != nil {
+		// Cyclic graphs never reach the schedulers; hash them by exact
+		// content so the value is still deterministic.
+		return g.ExactDigest() ^ 0xc96c5795d7870f42
+	}
+	down := make([]uint64, n)
+	up := make([]uint64, n)
+	scratch := make([]uint64, 0, 16)
+	for _, v := range order {
+		scratch = scratch[:0]
+		for _, u := range g.in[v] {
+			scratch = append(scratch, down[u])
+		}
+		down[v] = nodeHash(g.comp[v], g.mem[v], scratch)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		scratch = scratch[:0]
+		for _, w := range g.out[v] {
+			scratch = append(scratch, up[w])
+		}
+		up[v] = nodeHash(g.comp[v], g.mem[v], scratch)
+	}
+	combined := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		combined[v] = mix64(down[v] ^ rotl(up[v], 23))
+	}
+	sortU64(combined)
+	h := mix64(uint64(n)<<32 ^ uint64(g.edges))
+	for _, c := range combined {
+		h = mix64(h ^ c)
+	}
+	return h
+}
+
+// ExactDigest returns a labeling-sensitive digest of the DAG content:
+// per-node (ω, μ) in id order plus the sorted edge list. Two DAGs with
+// equal ExactDigest describe the same graph on the same node ids (up to
+// hash collision); names and labels are excluded.
+func (g *DAG) ExactDigest() uint64 {
+	h := mix64(uint64(g.N())<<32 ^ uint64(g.edges))
+	for v := 0; v < g.N(); v++ {
+		h = mix64(h ^ floatBits(g.comp[v]))
+		h = mix64(h ^ floatBits(g.mem[v]))
+	}
+	edges := make([]uint64, 0, g.edges)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.out[u] {
+			edges = append(edges, uint64(u)<<32|uint64(uint32(v)))
+		}
+	}
+	sortU64(edges)
+	for _, e := range edges {
+		h = mix64(h ^ e)
+	}
+	return h
+}
+
+// nodeHash combines a node's weights with the sorted multiset of its
+// neighbors' hashes. neighbor is clobbered.
+func nodeHash(comp, mem float64, neighbor []uint64) uint64 {
+	sortU64(neighbor)
+	h := mix64(floatBits(comp) ^ rotl(floatBits(mem), 17))
+	for _, nh := range neighbor {
+		h = mix64(h ^ nh)
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a fast bijective mixer with full
+// avalanche, the same primitive the fault-injection and perturbation
+// seeds use.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// floatBits maps a float64 to hashable bits, collapsing -0 and 0.
+func floatBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Float64bits(f)
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

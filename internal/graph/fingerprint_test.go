@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permuted returns a structurally identical copy of g with node ids
+// relabeled by perm (new id of old node v is perm[v]) and both node and
+// edge insertion orders shuffled by rng.
+func permuted(g *DAG, perm []int, rng *rand.Rand) *DAG {
+	h := New(g.Name() + "/perm")
+	inv := make([]int, g.N()) // inv[new] = old
+	for old, nw := range perm {
+		inv[nw] = old
+	}
+	for nw := 0; nw < g.N(); nw++ {
+		old := inv[nw]
+		h.AddNode(g.Comp(old), g.Mem(old))
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Children(u) {
+			edges = append(edges, edge{perm[u], perm[v]})
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		h.AddEdge(e.u, e.v)
+	}
+	return h
+}
+
+// TestFingerprintRelabelInvariant: the canonical fingerprint must not
+// move under node relabeling or edge reordering, while the exact digest
+// must move under relabeling but not under edge reordering.
+func TestFingerprintRelabelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomLayered("fp", 4, 4, 0.5, 7, 5, seed)
+		perm := rng.Perm(g.N())
+		h := permuted(g, perm, rng)
+		if got, want := h.Fingerprint(), g.Fingerprint(); got != want {
+			t.Fatalf("seed %d: relabeled fingerprint %x != %x", seed, got, want)
+		}
+		// Identity permutation shuffles only edge insertion order: the
+		// exact digest must survive that.
+		id := make([]int, g.N())
+		for i := range id {
+			id[i] = i
+		}
+		same := permuted(g, id, rng)
+		if same.ExactDigest() != g.ExactDigest() {
+			t.Fatalf("seed %d: exact digest moved under edge reordering", seed)
+		}
+		if same.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("seed %d: fingerprint moved under edge reordering", seed)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: changing a weight, adding an edge, or
+// dropping a node must move both hashes; renaming the DAG or relabeling
+// a node's text label must move neither.
+func TestFingerprintSensitivity(t *testing.T) {
+	g := RandomLayered("sens", 3, 4, 0.5, 7, 5, 3)
+	fp, ed := g.Fingerprint(), g.ExactDigest()
+
+	c := g.Clone()
+	c.SetComp(2, c.Comp(2)+1)
+	if c.Fingerprint() == fp || c.ExactDigest() == ed {
+		t.Fatal("compute-weight change not reflected")
+	}
+	c = g.Clone()
+	c.SetMem(5, c.Mem(5)+1)
+	if c.Fingerprint() == fp || c.ExactDigest() == ed {
+		t.Fatal("memory-weight change not reflected")
+	}
+	c = g.Clone()
+	c.AddEdge(0, c.N()-1)
+	if c.Fingerprint() == fp || c.ExactDigest() == ed {
+		t.Fatal("edge addition not reflected")
+	}
+	c = g.Clone()
+	c.AddNode(1, 1)
+	if c.Fingerprint() == fp || c.ExactDigest() == ed {
+		t.Fatal("node addition not reflected")
+	}
+	c = g.Clone()
+	c.SetName("renamed")
+	c.SetLabel(0, "relabeled")
+	if c.Fingerprint() != fp || c.ExactDigest() != ed {
+		t.Fatal("name/label must not influence the hashes")
+	}
+}
+
+// TestFingerprintDeterministic: repeated evaluation on the same DAG is
+// stable, and the two hashes agree between a DAG and its deep clone.
+func TestFingerprintDeterministic(t *testing.T) {
+	g := RandomDAG("det", 30, 0.2, 4, 7, 5, 11)
+	if g.Fingerprint() != g.Fingerprint() || g.ExactDigest() != g.ExactDigest() {
+		t.Fatal("hashes not stable across calls")
+	}
+	c := g.Clone()
+	if c.Fingerprint() != g.Fingerprint() || c.ExactDigest() != g.ExactDigest() {
+		t.Fatal("clone hashes differ")
+	}
+}
+
+// TestFingerprintZeroWeightNormalization: ±0 weights hash identically.
+func TestFingerprintZeroWeightNormalization(t *testing.T) {
+	a, b := New("z"), New("z")
+	a.AddNode(0, 1)
+	b.AddNode(negZero(), 1)
+	if a.Fingerprint() != b.Fingerprint() || a.ExactDigest() != b.ExactDigest() {
+		t.Fatal("-0 and 0 weights must hash identically")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

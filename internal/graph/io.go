@@ -4,9 +4,31 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// ParseError is the typed error Read returns for malformed input. The
+// text format is an untrusted network input path (the scheduling server
+// accepts it as the request body), so every syntactic or structural
+// defect surfaces as a *ParseError — never a panic — and callers can
+// detect it with errors.As to map it to a 4xx response.
+type ParseError struct {
+	Line int    // 1-based input line, 0 when the whole input is at fault
+	Msg  string // what was wrong
+}
+
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return "graph: " + e.Msg
+	}
+	return fmt.Sprintf("graph: line %d: %s", e.Line, e.Msg)
+}
+
+func parseErrf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
 
 // The text format is line based:
 //
@@ -44,11 +66,15 @@ func sanitizeName(s string) string {
 	return strings.ReplaceAll(s, " ", "_")
 }
 
-// Read parses a DAG from the text format.
+// Read parses a DAG from the text format. Malformed input — syntax
+// errors, out-of-order node ids, dangling or self-loop edges, non-finite
+// or negative weights, header counts that disagree with the body — is
+// rejected with a *ParseError (cycles with ErrCyclic), never a panic.
 func Read(r io.Reader) (*DAG, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var g *DAG
+	wantN, wantM := -1, -1
 	line := 0
 	for sc.Scan() {
 		line++
@@ -60,27 +86,41 @@ func Read(r io.Reader) (*DAG, error) {
 		switch fields[0] {
 		case "dag":
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("graph: line %d: malformed dag header", line)
+				return nil, parseErrf(line, "malformed dag header")
+			}
+			if g != nil {
+				return nil, parseErrf(line, "duplicate dag header")
 			}
 			g = New(fields[1])
+			if len(fields) >= 4 {
+				n, err1 := strconv.Atoi(fields[2])
+				m, err2 := strconv.Atoi(fields[3])
+				if err1 != nil || err2 != nil || n < 0 || m < 0 {
+					return nil, parseErrf(line, "bad node/edge counts %q %q", fields[2], fields[3])
+				}
+				wantN, wantM = n, m
+			}
 		case "node":
 			if g == nil {
-				return nil, fmt.Errorf("graph: line %d: node before dag header", line)
+				return nil, parseErrf(line, "node before dag header")
 			}
 			if len(fields) < 4 {
-				return nil, fmt.Errorf("graph: line %d: malformed node line", line)
+				return nil, parseErrf(line, "malformed node line")
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad node id: %v", line, err)
+				return nil, parseErrf(line, "bad node id: %v", err)
 			}
 			comp, err := strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad compute weight: %v", line, err)
+				return nil, parseErrf(line, "bad compute weight: %v", err)
 			}
 			mem, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad memory weight: %v", line, err)
+				return nil, parseErrf(line, "bad memory weight: %v", err)
+			}
+			if comp < 0 || mem < 0 || !isFinite(comp) || !isFinite(mem) {
+				return nil, parseErrf(line, "node %d has unusable weights (ω=%g, μ=%g)", id, comp, mem)
 			}
 			label := ""
 			if len(fields) >= 5 {
@@ -88,42 +128,54 @@ func Read(r io.Reader) (*DAG, error) {
 			}
 			got := g.AddNodeLabeled(label, comp, mem)
 			if got != id {
-				return nil, fmt.Errorf("graph: line %d: node id %d out of order (expected %d)", line, id, got)
+				return nil, parseErrf(line, "node id %d out of order (expected %d)", id, got)
 			}
 		case "edge":
 			if g == nil {
-				return nil, fmt.Errorf("graph: line %d: edge before dag header", line)
+				return nil, parseErrf(line, "edge before dag header")
 			}
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("graph: line %d: malformed edge line", line)
+				return nil, parseErrf(line, "malformed edge line")
 			}
 			u, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge source: %v", line, err)
+				return nil, parseErrf(line, "bad edge source: %v", err)
 			}
 			v, err := strconv.Atoi(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad edge target: %v", line, err)
+				return nil, parseErrf(line, "bad edge target: %v", err)
 			}
 			if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
-				return nil, fmt.Errorf("graph: line %d: edge (%d,%d) references unknown node", line, u, v)
+				return nil, parseErrf(line, "edge (%d,%d) references unknown node", u, v)
+			}
+			if u == v {
+				// AddEdge panics on self-loops (a caller bug in library
+				// use); on the wire it is just malformed input.
+				return nil, parseErrf(line, "self-loop edge on node %d", u)
 			}
 			g.AddEdge(u, v)
 		default:
-			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+			return nil, parseErrf(line, "unknown directive %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if g == nil {
-		return nil, fmt.Errorf("graph: empty input")
+		return nil, &ParseError{Msg: "empty input"}
+	}
+	if wantN >= 0 && (g.N() != wantN || g.M() != wantM) {
+		return nil, &ParseError{Msg: fmt.Sprintf(
+			"header declares n=%d m=%d but body has n=%d m=%d (duplicate edges collapse)",
+			wantN, wantM, g.N(), g.M())}
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
+
+func isFinite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
 
 // DOT renders the DAG in Graphviz DOT format, for visual inspection.
 func DOT(w io.Writer, g *DAG) error {

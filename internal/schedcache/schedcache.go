@@ -1,0 +1,287 @@
+// Package schedcache is the schedule cache behind the scheduling
+// service: a bounded, sharded LRU mapping a canonical request key —
+// DAG fingerprint × exact digest × architecture (P, g, L, r) × the
+// salient portfolio options — to a validated schedule plus its anytime
+// certificate, with hit/miss/eviction counters and single-flight
+// deduplication so N concurrent identical requests run the portfolio
+// once.
+//
+// The cache is value-generic: it stores whatever the server builds for a
+// key (in practice the marshaled wire response). Correctness of serving
+// a stored value for a new request rests on the key construction, argued
+// in DESIGN.md: the canonical fingerprint alone is relabeling-invariant,
+// so two isomorphic but differently-numbered submissions must NOT share
+// an entry (a schedule's ops name node ids); pairing it with the exact
+// digest keys on ids too, and the remaining 128-bit collision risk is
+// the usual hashing bet.
+//
+// Single-flight is exposed as a leader/follower primitive rather than a
+// blocking GetOrCompute so the server can race a follower's wait against
+// its per-request deadline: the flight keeps computing for the cache
+// while the impatient request degrades to the anytime fallback.
+package schedcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used when Config.Shards is 0. Sharding
+// bounds lock contention under concurrent traffic; 16 keeps per-shard
+// LRU lists useful at the default capacity.
+const DefaultShards = 16
+
+// DefaultEntries is the total entry bound used when Config.Entries is 0.
+const DefaultEntries = 1024
+
+// Config sizes a Cache.
+type Config struct {
+	// Entries bounds the total number of cached entries across all
+	// shards. 0 selects DefaultEntries; negative disables storage (the
+	// cache still deduplicates flights).
+	Entries int
+	// Shards is the shard count. 0 selects DefaultShards. Capacity is
+	// split evenly; each shard evicts LRU-locally, so the global order is
+	// approximate — the usual sharded-LRU trade.
+	Shards int
+}
+
+// Cache is a bounded, sharded LRU with single-flight deduplication.
+// The zero value is not usable; call New.
+type Cache[V any] struct {
+	shards   []shard[V]
+	perShard int
+	disabled bool
+
+	mu      sync.Mutex
+	flights map[string]*Flight[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
+	runs      atomic.Int64
+}
+
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	// Intrusive doubly-linked LRU list; head.next is most recent.
+	head entry[V]
+}
+
+type entry[V any] struct {
+	key        string
+	val        V
+	prev, next *entry[V]
+}
+
+// New returns an empty cache sized by cfg.
+func New[V any](cfg Config) *Cache[V] {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	entries := cfg.Entries
+	if entries == 0 {
+		entries = DefaultEntries
+	}
+	c := &Cache[V]{
+		flights:  make(map[string]*Flight[V]),
+		disabled: entries < 0,
+	}
+	if c.disabled {
+		entries = 0
+	}
+	if cfg.Shards > entries && !c.disabled {
+		cfg.Shards = entries // never allocate shards that can hold nothing
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	c.perShard = (entries + cfg.Shards - 1) / cfg.Shards
+	c.shards = make([]shard[V], cfg.Shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[string]*entry[V])
+		s.head.next = &s.head
+		s.head.prev = &s.head
+	}
+	return c
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[fnv1a(key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key and bumps it to most-recent. The
+// hit/miss counters record the outcome.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	var zero V
+	if c.disabled {
+		c.misses.Add(1)
+		return zero, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Add stores key→val as the most-recent entry of its shard, evicting the
+// shard's least-recent entry if the shard is full. Re-adding an existing
+// key overwrites it in place.
+func (c *Cache[V]) Add(key string, val V) {
+	if c.disabled {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		e.val = val
+		s.unlink(e)
+		s.pushFront(e)
+		return
+	}
+	if len(s.entries) >= c.perShard {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.entries, lru.key)
+		c.evictions.Add(1)
+	}
+	e := &entry[V]{key: key, val: val}
+	s.entries[key] = e
+	s.pushFront(e)
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.next = s.head.next
+	e.prev = &s.head
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// Flight is one in-flight computation for a key. Followers wait on Done;
+// after it closes, Value/Err are immutable.
+type Flight[V any] struct {
+	done  chan struct{}
+	value V
+	err   error
+}
+
+// Done returns a channel closed when the flight's result is available.
+func (f *Flight[V]) Done() <-chan struct{} { return f.done }
+
+// Result returns the flight's outcome; it must only be called after Done
+// is closed.
+func (f *Flight[V]) Result() (V, error) { return f.value, f.err }
+
+// Flight joins the single-flight group for key. The first caller becomes
+// the leader (leader == true) and MUST eventually call Finish exactly
+// once — typically from a goroutine that runs the computation — or every
+// follower blocks forever. Followers (leader == false) share the
+// leader's outcome via Done/Result. Flights are not cached: once
+// finished, the next Flight call for the key starts a fresh one, so the
+// caller should consult Get first and Add the finished value itself.
+func (c *Cache[V]) Flight(key string) (f *Flight[V], leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		c.coalesced.Add(1)
+		return f, false
+	}
+	f = &Flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.runs.Add(1)
+	return f, true
+}
+
+// Finish resolves the flight for key with the leader's outcome, waking
+// every follower. On success (err == nil) the value is also stored in
+// the cache.
+func (c *Cache[V]) Finish(key string, f *Flight[V], val V, err error) {
+	c.finish(key, f, val, err, true)
+}
+
+// FinishNoStore resolves the flight without storing the value: the
+// waiters get it, future requests recompute. The server uses this for
+// anytime results that are valid but not full-fidelity deterministic
+// answers (degraded candidates, fallback rungs), which must never be
+// replayed from the cache.
+func (c *Cache[V]) FinishNoStore(key string, f *Flight[V], val V, err error) {
+	c.finish(key, f, val, err, false)
+}
+
+func (c *Cache[V]) finish(key string, f *Flight[V], val V, err error, store bool) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.value, f.err = val, err
+	if err == nil && store {
+		c.Add(key, val)
+	}
+	close(f.done)
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	// Coalesced counts followers that joined an existing flight instead
+	// of computing; Runs counts flights led (portfolio executions the
+	// cache admitted).
+	Coalesced int64 `json:"coalesced"`
+	Runs      int64 `json:"runs"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Coalesced: c.coalesced.Load(),
+		Runs:      c.runs.Load(),
+	}
+}

@@ -1,0 +1,192 @@
+package schedcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGetAddHitMiss: basic store/load with counter accounting.
+func TestGetAddHitMiss(t *testing.T) {
+	c := New[string](Config{Entries: 8, Shards: 2})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", "va")
+	if v, ok := c.Get("a"); !ok || v != "va" {
+		t.Fatalf("want va, got %q ok=%v", v, ok)
+	}
+	c.Add("a", "va2") // overwrite in place
+	if v, _ := c.Get("a"); v != "va2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestLRUEviction: a single-shard cache evicts in least-recently-used
+// order, where Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	c := New[int](Config{Entries: 3, Shards: 1})
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3)
+	c.Get("a")    // a is now most recent; b is LRU
+	c.Add("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s unexpectedly evicted", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestBoundedAcrossShards: the cache never holds more than its entry
+// bound, whatever the key distribution.
+func TestBoundedAcrossShards(t *testing.T) {
+	const cap = 64
+	c := New[int](Config{Entries: cap, Shards: 8})
+	for i := 0; i < 10*cap; i++ {
+		c.Add(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n > cap {
+		t.Fatalf("cache holds %d entries, bound %d", n, cap)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions under 10x overload")
+	}
+}
+
+// TestDisabledStorage: Entries < 0 disables storage but keeps the
+// single-flight machinery alive.
+func TestDisabledStorage(t *testing.T) {
+	c := New[int](Config{Entries: -1})
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	f, leader := c.Flight("a")
+	if !leader {
+		t.Fatal("expected leadership on fresh key")
+	}
+	c.Finish("a", f, 7, nil)
+	if v, err := f.Result(); v != 7 || err != nil {
+		t.Fatalf("flight result %v/%v", v, err)
+	}
+}
+
+// TestSingleFlightCollapses: N concurrent requests for one key run the
+// computation exactly once; every follower observes the leader's value.
+func TestSingleFlightCollapses(t *testing.T) {
+	c := New[int](Config{Entries: 8})
+	const n = 32
+	var computed atomic.Int32
+	var wg, joined sync.WaitGroup
+	joined.Add(n) // the leader finishes only after every request joined
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, ok := c.Get("k"); ok {
+				t.Error("hit before any flight finished")
+			}
+			f, leader := c.Flight("k")
+			joined.Done()
+			if leader {
+				joined.Wait()
+				computed.Add(1)
+				c.Finish("k", f, 42, nil)
+			}
+			<-f.Done()
+			v, err := f.Result()
+			if err != nil {
+				t.Errorf("flight error: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("request %d got %d", i, v)
+		}
+	}
+	// The finished flight landed in the cache; subsequent requests hit.
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("finished flight not cached: %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Runs != 1 {
+		t.Fatalf("want 1 run, got %d", st.Runs)
+	}
+	if st.Coalesced != n-1 {
+		t.Fatalf("want %d coalesced followers, got %d", n-1, st.Coalesced)
+	}
+}
+
+// TestFlightErrorNotCached: a failed flight propagates its error to all
+// followers and leaves the cache empty, so the next request retries.
+func TestFlightErrorNotCached(t *testing.T) {
+	c := New[int](Config{Entries: 8})
+	boom := errors.New("boom")
+	f, leader := c.Flight("k")
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	follower, lead2 := c.Flight("k")
+	if lead2 || follower != f {
+		t.Fatal("second caller must follow the live flight")
+	}
+	c.Finish("k", f, 0, boom)
+	<-f.Done()
+	if _, err := f.Result(); !errors.Is(err, boom) {
+		t.Fatalf("follower error %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed flight must not be cached")
+	}
+	if _, leader := c.Flight("k"); !leader {
+		t.Fatal("key must be retryable after a failed flight")
+	}
+}
+
+// TestConcurrentStress: hammer all operations from many goroutines; the
+// race detector owns the assertions, the bound check closes it out.
+func TestConcurrentStress(t *testing.T) {
+	c := New[int](Config{Entries: 32, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if _, ok := c.Get(key); !ok {
+					f, leader := c.Flight(key)
+					if leader {
+						c.Finish(key, f, i, nil)
+					} else {
+						<-f.Done()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 32 {
+		t.Fatalf("bound violated: %d entries", n)
+	}
+}

@@ -1,0 +1,517 @@
+// Package server implements the persistent scheduling service: an
+// HTTP/JSON surface over the anytime scheduler portfolio with a
+// fingerprint-keyed schedule cache, single-flight request coalescing,
+// and admission control.
+//
+// Endpoints:
+//
+//	POST /v1/schedule   body: DAG in the graph.Write text format;
+//	                    query: p, r | rfactor, g, l, model, deadline_ms
+//	GET  /v1/stats      cache / admission / request counters as JSON
+//	GET  /healthz       liveness
+//
+// A request is resolved in this order: cache hit (microseconds, no
+// compute), joining an identical in-flight computation (single-flight),
+// or a fresh portfolio run admitted against the in-flight cap. When the
+// cap is reached the request is shed with 429 + Retry-After instead of
+// queueing unboundedly. A per-request deadline maps onto the portfolio's
+// anytime contract: if it fires before the (shared) computation
+// finishes, the request degrades to the synchronous two-stage fallback
+// ladder and returns a valid schedule with a degraded-rung certificate —
+// never a 500 — while the computation keeps running to populate the
+// cache.
+//
+// The server always runs the portfolio in its deterministic
+// configuration (fixed seed, node-limited search, sealed incumbent, no
+// per-candidate wall clocks), and only full-fidelity results — rung
+// "portfolio", no degraded candidates, not interrupted — are cached, so
+// a cache hit is byte-identical to a fresh run with the same options;
+// see DESIGN.md ("Scheduling as a service").
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbsp/internal/graph"
+	"mbsp/internal/mbsp"
+	"mbsp/internal/portfolio"
+	"mbsp/internal/schedcache"
+	"mbsp/internal/wire"
+)
+
+// Compute runs the scheduling portfolio for one admitted request. It is
+// a Config hook so tests can substitute slow or failing computations.
+type Compute func(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts portfolio.Options) (*portfolio.Result, error)
+
+// Config configures a Server.
+type Config struct {
+	// CacheEntries bounds the schedule cache (0: schedcache default;
+	// negative: disable caching, keep single-flight).
+	CacheEntries int
+	// MaxInflight bounds concurrently admitted portfolio runs; excess
+	// cold requests are shed with 429. 0 selects GOMAXPROCS.
+	MaxInflight int
+	// ComputeTimeout is the server-side budget for one admitted
+	// portfolio run (independent of any per-request deadline, so a
+	// short-deadline request cannot starve the cache of the full-fidelity
+	// result its computation was already paying for). Default 60s.
+	ComputeTimeout time.Duration
+	// MaxRequestBytes caps the request body. Default 8 MiB.
+	MaxRequestBytes int64
+	// MaxDeadline caps the per-request deadline_ms parameter. Default
+	// ComputeTimeout.
+	MaxDeadline time.Duration
+
+	// Seed, ILPNodeLimit, MIPWorkers and Workers pin the deterministic
+	// portfolio configuration; they are part of the cache key. Seed
+	// defaults to 1; ILPNodeLimit to DefaultNodeLimit (it must be > 0 —
+	// wall-clock-budgeted searches are not cacheable).
+	Seed         int64
+	ILPNodeLimit int
+	MIPWorkers   int
+	Workers      int
+
+	// Compute overrides the portfolio runner (tests). Default
+	// portfolio.RunAnytime.
+	Compute Compute
+	// Logf receives progress and error messages. Default: discard.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultNodeLimit is the branch-and-bound node budget used when
+// Config.ILPNodeLimit is 0: deep enough to close the registry-scale
+// instances, small enough to bound a cold request's latency.
+const DefaultNodeLimit = 20000
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 1
+	}
+	if c.ComputeTimeout <= 0 {
+		c.ComputeTimeout = 60 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = c.ComputeTimeout
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ILPNodeLimit <= 0 {
+		c.ILPNodeLimit = DefaultNodeLimit
+	}
+	if c.Compute == nil {
+		c.Compute = portfolio.RunAnytime
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// Server is the scheduling service. Create with New, expose via
+// Handler, stop with Close (after http.Server.Shutdown has drained the
+// handlers).
+type Server struct {
+	cfg   Config
+	cache *schedcache.Cache[*wire.Response]
+
+	admit chan struct{} // admission semaphore, cap MaxInflight
+
+	baseCtx  context.Context // cancels in-flight computes on Close
+	stop     context.CancelFunc
+	computes sync.WaitGroup // outstanding background computations
+
+	start time.Time
+
+	requests  atomic.Int64 // POST /v1/schedule requests accepted for processing
+	shed      atomic.Int64 // requests rejected with 429
+	degraded  atomic.Int64 // responses served via the deadline fallback
+	errored   atomic.Int64 // 4xx/5xx responses other than 429
+	inflight  atomic.Int64 // currently admitted portfolio runs
+	completed atomic.Int64 // 200 responses
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		cache:   schedcache.New[*wire.Response](schedcache.Config{Entries: cfg.CacheEntries}),
+		admit:   make(chan struct{}, cfg.MaxInflight),
+		baseCtx: ctx,
+		stop:    stop,
+		start:   time.Now(),
+	}
+}
+
+// Close cancels and waits for any background computations. Call it
+// after http.Server.Shutdown has drained the handlers; Close does not
+// drain them itself.
+func (s *Server) Close() {
+	s.stop()
+	s.computes.Wait()
+}
+
+// Handler returns the HTTP handler for all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// errOverloaded marks a flight that was never admitted: every request
+// sharing it is shed with 429.
+var errOverloaded = errors.New("server: at in-flight capacity")
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	if status != http.StatusTooManyRequests {
+		s.errored.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// request is one parsed scheduling request.
+type request struct {
+	g        *graph.DAG
+	arch     mbsp.Arch
+	model    mbsp.CostModel
+	deadline time.Duration
+	key      string
+}
+
+// parseRequest reads the DAG body and the architecture query parameters.
+func (s *Server) parseRequest(r *http.Request) (*request, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxRequestBytes)
+	g, err := graph.Read(body)
+	if err != nil {
+		var pe *graph.ParseError
+		switch {
+		case errors.As(err, &pe), errors.Is(err, graph.ErrCyclic):
+			return nil, &httpError{http.StatusBadRequest, "bad DAG: " + err.Error()}
+		default:
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return nil, &httpError{http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxRequestBytes)}
+			}
+			return nil, &httpError{http.StatusBadRequest, "reading DAG: " + err.Error()}
+		}
+	}
+	q := r.URL.Query()
+	num := func(name string, def float64) (float64, error) {
+		v := q.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		var f float64
+		if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+			return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("bad %s=%q", name, v)}
+		}
+		return f, nil
+	}
+	p, err := num("p", 4)
+	if err != nil {
+		return nil, err
+	}
+	gcost, err := num("g", 1)
+	if err != nil {
+		return nil, err
+	}
+	lcost, err := num("l", 10)
+	if err != nil {
+		return nil, err
+	}
+	rfac, err := num("rfactor", 3)
+	if err != nil {
+		return nil, err
+	}
+	rabs, err := num("r", 0)
+	if err != nil {
+		return nil, err
+	}
+	rv := rfac * g.MinCache()
+	if rabs > 0 {
+		rv = rabs
+	}
+	arch := mbsp.Arch{P: int(p), R: rv, G: gcost, L: lcost}
+	if err := arch.Validate(); err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	model := mbsp.Sync
+	switch q.Get("model") {
+	case "", "sync":
+	case "async":
+		model = mbsp.Async
+	default:
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("bad model=%q (sync|async)", q.Get("model"))}
+	}
+	var deadline time.Duration
+	if v := q.Get("deadline_ms"); v != "" {
+		ms, err := num("deadline_ms", 0)
+		if err != nil || ms < 0 {
+			return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("bad deadline_ms=%q", v)}
+		}
+		deadline = time.Duration(ms * float64(time.Millisecond))
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	req := &request{g: g, arch: arch, model: model, deadline: deadline}
+	req.key = s.cacheKey(req)
+	return req, nil
+}
+
+// cacheKey is the canonical identity of a request: DAG fingerprint and
+// exact digest, architecture, cost model, and the salient deterministic
+// portfolio options. The per-request deadline is deliberately absent —
+// it changes how long a requester waits, never the full-fidelity result.
+func (s *Server) cacheKey(req *request) string {
+	return fmt.Sprintf("%016x/%016x/p%d,r%g,g%g,L%g/%s/seed%d,nodes%d",
+		req.g.Fingerprint(), req.g.ExactDigest(),
+		req.arch.P, req.arch.R, req.arch.G, req.arch.L,
+		wire.ModelName(req.model), s.cfg.Seed, s.cfg.ILPNodeLimit)
+}
+
+// portfolioOptions is the deterministic configuration every computation
+// runs under (see the package comment for why wall clocks are disabled).
+func (s *Server) portfolioOptions(model mbsp.CostModel) portfolio.Options {
+	return portfolio.Options{
+		Model:            model,
+		Workers:          s.cfg.Workers,
+		MIPWorkers:       s.cfg.MIPWorkers,
+		Seed:             s.cfg.Seed,
+		ILPNodeLimit:     s.cfg.ILPNodeLimit,
+		SchedulerTimeout: -1, // the compute context is the only wall clock
+		ILPTimeLimit:     s.cfg.ComputeTimeout,
+		Logf:             s.cfg.Logf,
+	}
+}
+
+// cacheable reports whether a computed result is a full-fidelity
+// deterministic answer: produced by the portfolio itself, with no
+// candidate cut mid-search and no interruption. Anything else is
+// timing-dependent and must not be served to future requests.
+func cacheable(res *portfolio.Result) bool {
+	cert := res.Certificate
+	return cert != nil && cert.Rung == portfolio.RungPortfolio &&
+		!cert.Interrupted && len(cert.Degraded) == 0
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	req, err := s.parseRequest(r)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			s.writeError(w, he.status, "%s", he.msg)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.requests.Add(1)
+
+	// Fast path: a cached full-fidelity response, served before any
+	// admission or deadline machinery so hits stay microseconds even
+	// under overload.
+	if resp, ok := s.cache.Get(req.key); ok {
+		s.respond(w, started, resp, req.key, "hit", true)
+		return
+	}
+
+	// Request context: caller disconnect plus the optional deadline.
+	rctx := r.Context()
+	if req.deadline > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, req.deadline)
+		defer cancel()
+	}
+
+	flight, leader := s.cache.Flight(req.key)
+	provenance := "coalesced"
+	if leader {
+		provenance = "cold"
+		select {
+		case s.admit <- struct{}{}:
+			s.startCompute(req, flight)
+		default:
+			// At capacity: shed this flight. Followers waiting on it are
+			// shed too — they would otherwise queue unboundedly behind a
+			// computation that is not running.
+			s.cache.Finish(req.key, flight, nil, errOverloaded)
+		}
+	}
+
+	select {
+	case <-flight.Done():
+		resp, ferr := flight.Result()
+		switch {
+		case ferr == nil:
+			s.respond(w, started, resp, req.key, provenance, false)
+		case errors.Is(ferr, errOverloaded):
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "%v", ferr)
+		default:
+			// The portfolio returns an error only when the instance
+			// admits no valid schedule at all: a client problem.
+			s.writeError(w, http.StatusUnprocessableEntity, "scheduling failed: %v", ferr)
+		}
+	case <-rctx.Done():
+		// The per-request deadline (or a client disconnect) fired before
+		// the shared computation finished. Anytime contract: degrade to
+		// the synchronous fallback ladder — the expired context makes
+		// RunAnytime skip the race and walk the deterministic two-stage
+		// rungs directly — while the flight keeps computing for the
+		// cache.
+		s.respondDegraded(w, started, req, rctx)
+	}
+}
+
+// startCompute runs the portfolio for req in the background under the
+// server's compute budget, finishing the flight (and populating the
+// cache) when done. It owns releasing the admission slot.
+func (s *Server) startCompute(req *request, flight *schedcache.Flight[*wire.Response]) {
+	s.computes.Add(1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.computes.Done()
+		defer s.inflight.Add(-1)
+		defer func() { <-s.admit }()
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ComputeTimeout)
+		defer cancel()
+		res, err := s.cfg.Compute(ctx, req.g, req.arch, s.portfolioOptions(req.model))
+		if err != nil {
+			s.cfg.Logf("server: compute %s failed: %v", req.key, err)
+			s.cache.Finish(req.key, flight, nil, err)
+			return
+		}
+		resp, werr := wire.FromResult(req.g, req.arch, req.model, res)
+		if werr != nil {
+			s.cache.Finish(req.key, flight, nil, werr)
+			return
+		}
+		if !cacheable(res) {
+			// Serve the anytime result to the requests waiting on this
+			// flight, but keep it out of the cache: it is not the
+			// deterministic full-fidelity answer.
+			s.cfg.Logf("server: %s computed non-cacheable (rung=%s)", req.key, rungOf(res))
+			s.cache.FinishNoStore(req.key, flight, resp, nil)
+			return
+		}
+		s.cache.Finish(req.key, flight, resp, nil)
+	}()
+}
+
+func rungOf(res *portfolio.Result) string {
+	if res.Certificate != nil {
+		return res.Certificate.Rung
+	}
+	return "?"
+}
+
+// respondDegraded serves the anytime fallback for a request whose
+// deadline fired mid-computation. The fallback ladder is synchronous,
+// deterministic and cheap (two greedy passes), so even a deadline of a
+// millisecond yields a valid certified schedule.
+func (s *Server) respondDegraded(w http.ResponseWriter, started time.Time, req *request, rctx context.Context) {
+	res, err := portfolio.RunAnytime(rctx, req.g, req.arch, s.portfolioOptions(req.model))
+	if err != nil {
+		// Only reachable when the instance admits no valid schedule.
+		s.writeError(w, http.StatusUnprocessableEntity, "scheduling failed: %v", err)
+		return
+	}
+	resp, werr := wire.FromResult(req.g, req.arch, req.model, res)
+	if werr != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", werr)
+		return
+	}
+	s.degraded.Add(1)
+	s.respond(w, started, resp, req.key, "deadline-degraded", false)
+}
+
+// respond writes a 200 response, stamping per-request cache provenance
+// and the elapsed-time header (kept out of the body so cached bodies
+// are byte-identical).
+func (s *Server) respond(w http.ResponseWriter, started time.Time, resp *wire.Response, key, provenance string, hit bool) {
+	stamped := *resp
+	stamped.Cache = &wire.CacheInfo{Hit: hit, Provenance: provenance, Key: key}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mbsp-Elapsed-Ms", fmt.Sprintf("%.3f", float64(time.Since(started))/float64(time.Millisecond)))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&stamped); err != nil {
+		s.cfg.Logf("server: writing response: %v", err)
+		return
+	}
+	s.completed.Add(1)
+}
+
+// StatsSnapshot is the GET /v1/stats payload.
+type StatsSnapshot struct {
+	Cache     schedcache.Stats `json:"cache"`
+	Admission struct {
+		MaxInflight int   `json:"max_inflight"`
+		Inflight    int64 `json:"inflight"`
+		Shed        int64 `json:"shed"`
+	} `json:"admission"`
+	Requests struct {
+		Accepted  int64 `json:"accepted"`
+		Completed int64 `json:"completed"`
+		Degraded  int64 `json:"degraded"`
+		Errored   int64 `json:"errored"`
+	} `json:"requests"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats returns a point-in-time snapshot of the server counters.
+func (s *Server) Stats() StatsSnapshot {
+	var st StatsSnapshot
+	st.Cache = s.cache.Stats()
+	st.Admission.MaxInflight = s.cfg.MaxInflight
+	st.Admission.Inflight = s.inflight.Load()
+	st.Admission.Shed = s.shed.Load()
+	st.Requests.Accepted = s.requests.Load()
+	st.Requests.Completed = s.completed.Load()
+	st.Requests.Degraded = s.degraded.Load()
+	st.Requests.Errored = s.errored.Load()
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

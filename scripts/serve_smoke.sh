@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# End-to-end smoke of the scheduling service (see cmd/mbsp-smoke for the
+# assertions): build mbsp-served, start it on an ephemeral port, run the
+# smoke client against it (cold run, byte-identical cache hit inside its
+# deadline, stats, SIGTERM mid-request), and assert the server drains and
+# exits cleanly.
+#
+# Usage: scripts/serve_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/mbsp-served" ./cmd/mbsp-served
+go build -o "$tmp/mbsp-smoke" ./cmd/mbsp-smoke
+
+# A modest node budget keeps the cold run fast; results stay
+# deterministic and cacheable for any value > 0.
+"$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 2> "$tmp/served.log" &
+pid=$!
+
+# The server prints its resolved address first thing; poll for it.
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr="$(sed -n 's/.*listening on //p' "$tmp/served.log" | head -n 1)"
+    [ -n "$addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: server never listened" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+
+if ! "$tmp/mbsp-smoke" -base "http://$addr" -pid "$pid"; then
+    echo "serve smoke: client assertions failed" >&2
+    cat "$tmp/served.log" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+fi
+
+# The client SIGTERMed the server mid-request; a clean drain means exit
+# code 0 and the drained-stats line in the log.
+if ! wait "$pid"; then
+    echo "serve smoke: server exited nonzero after SIGTERM" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+if ! grep -q "drained:" "$tmp/served.log"; then
+    echo "serve smoke: no drain log line" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+
+echo "serve smoke: OK"

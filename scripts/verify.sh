@@ -11,9 +11,16 @@
 #      parallel branch-and-bound determinism matrix)
 #   4. the chaos leg: the anytime portfolio on the tiny dataset under a
 #      50ms deadline with the seeded fault-injection harness live,
-#      under -race, one leg per injection mode plus all modes at once —
-#      exits nonzero on any non-anytime error, missing certificate or
-#      invalid schedule (the graceful-degradation gate);
+#      under -race, one leg per injection mode plus all modes at once,
+#      for two distinct fault seeds (different seeds inject different
+#      fault sequences; one seed only proves one trajectory) — exits
+#      nonzero on any non-anytime error, missing certificate or invalid
+#      schedule (the graceful-degradation gate);
+#   4b. the serving smoke (scripts/serve_smoke.sh): start mbsp-served on
+#      an ephemeral port, POST a registry DAG twice and assert the
+#      second response is a cache hit with a byte-identical schedule
+#      inside its deadline, check /healthz and /v1/stats, then SIGTERM
+#      the server mid-request and assert it drains and exits cleanly;
 #   5. a short benchmark smoke: the portfolio experiment on the tiny
 #      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
 #      timing per instance) so the portfolio's performance trajectory is
@@ -45,8 +52,14 @@ echo "== go test -race ./..."
 go test -race ./...
 
 echo "== chaos leg: anytime portfolio under fault injection (-race)"
-go run -race ./cmd/mbsp-bench -experiment chaos -dataset tiny \
-    -deadline 50ms -fault-seed 42
+for fault_seed in 42 1337; do
+    echo "== chaos leg: fault seed ${fault_seed}"
+    go run -race ./cmd/mbsp-bench -experiment chaos -dataset tiny \
+        -deadline 50ms -fault-seed "${fault_seed}"
+done
+
+echo "== serving smoke: mbsp-served cache hit + graceful drain"
+sh scripts/serve_smoke.sh
 
 echo "== bench smoke: BenchmarkPortfolio (1 iteration)"
 go test -run '^$' -bench '^BenchmarkPortfolio$' -benchtime 1x .
