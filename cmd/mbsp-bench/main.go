@@ -7,7 +7,8 @@
 //	           [-dataset tiny|paper-tiny|paper-small] [-timeout 2s] [-budget 2000]
 //	           [-workers 0] [-mip-workers 0] [-incumbent]
 //	           [-deadline 0] [-fault-seed 0] [-fault-modes all] [-fault-rate 0]
-//	           [-csv out.csv] [-json out.json] [-baseline old.json]
+//	           [-checkpoint cells.ckpt] [-csv out.csv] [-json out.json]
+//	           [-baseline old.json]
 //
 // The experiment grid (instances × methods) runs concurrently over
 // -workers goroutines (0: GOMAXPROCS) with deterministic, ordered result
@@ -16,7 +17,10 @@
 // sequential runs. -mip-workers additionally parallelizes the node
 // relaxations *inside* each branch-and-bound tree; unlike -workers it
 // never changes any result (deterministic node accounting in the
-// solver). The portfolio experiment races every applicable scheduler
+// solver). -checkpoint journals every completed grid cell to a
+// crash-safe record log (internal/persist) and resumes completed cells
+// on rerun: a killed grid run picks up where it left off and renders
+// the identical merged table. The portfolio experiment races every applicable scheduler
 // per instance and reports per-scheduler cost/timing; -json writes its
 // results as JSON (scripts/verify.sh tracks BENCH_portfolio.json across
 // PRs). The solver experiment measures the warm-started solver core:
@@ -67,8 +71,9 @@ func main() {
 		incumbent = flag.Bool("incumbent", true, "share a portfolio-wide incumbent bound between schedulers so losing candidates cut off early")
 		deadline  = flag.Duration("deadline", 0, "wall-clock deadline per portfolio/chaos instance; runs degrade gracefully instead of failing (0: none)")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault-injection harness (0: off for portfolio, 1 for chaos); same seed, same faults")
-		faultMode = flag.String("fault-modes", "all", "comma-separated injected fault classes: cold, singular, latency, cancel, or all")
+		faultMode = flag.String("fault-modes", "all", "comma-separated injected fault classes: cold, singular, latency, cancel, torn, short, flip, solver, fs, or all")
 		faultRate = flag.Float64("fault-rate", 0, "per-decision injection probability (0: default)")
+		chkpt     = flag.String("checkpoint", "", "journal completed (instance, method) grid cells to this file and resume them on rerun; tables render identically whether a cell was computed or resumed")
 		csvOut    = flag.String("csv", "", "also write the last table as CSV to this file")
 		jsonOut   = flag.String("json", "", "write portfolio/solver experiment results as JSON to this file")
 		baseline  = flag.String("baseline", "", "previous solver-experiment JSON: fail if the parallel node-throughput speedup regresses against it")
@@ -81,6 +86,19 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.MIPWorkers = *mipWork
+
+	if *chkpt != "" {
+		cp, err := experiments.OpenCheckpoint(*chkpt)
+		if err != nil {
+			fatal(err)
+		}
+		defer cp.Close()
+		if cp.Restored() > 0 || cp.Corrupt() > 0 {
+			fmt.Printf("checkpoint %s: resuming %d completed cells (%d corrupt records dropped)\n",
+				*chkpt, cp.Restored(), cp.Corrupt())
+		}
+		cfg.Checkpoint = cp
+	}
 
 	var insts []workloads.Instance
 	switch *dataset {
@@ -316,9 +334,24 @@ func runChaos(insts []workloads.Instance, cfg experiments.Config, workers, mipWo
 	if deadline <= 0 {
 		deadline = 50 * time.Millisecond
 	}
-	modes, err := faultinject.ParseModes(modeList)
+	parsed, err := faultinject.ParseModes(modeList)
 	if err != nil {
 		fatal(err)
+	}
+	// The portfolio never consults the filesystem modes (those belong to
+	// internal/persist, exercised by crash_smoke.sh and the persist
+	// tests), so legs injecting only them would assert nothing here.
+	var modes []faultinject.Mode
+	for _, m := range parsed {
+		switch m {
+		case faultinject.TornWrite, faultinject.ShortWrite, faultinject.ChecksumFlip:
+			fmt.Printf("note: skipping filesystem fault mode %v (not consumed by the portfolio; see crash_smoke.sh)\n", m)
+		default:
+			modes = append(modes, m)
+		}
+	}
+	if len(modes) == 0 {
+		fatal(fmt.Errorf("chaos experiment: no solver fault modes selected (got %q)", modeList))
 	}
 	legs := make([][]faultinject.Mode, 0, len(modes)+1)
 	for _, m := range modes {

@@ -5,23 +5,29 @@
 //
 // Usage:
 //
-//	mbsp-served [-addr :8035] [-cache-entries 1024] [-max-inflight 0]
-//	            [-compute-timeout 60s] [-max-body 8388608]
+//	mbsp-served [-addr :8035] [-cache-entries 1024] [-cache-path DIR]
+//	            [-max-inflight 0] [-compute-timeout 60s] [-max-body 8388608]
 //	            [-seed 1] [-node-limit 20000] [-workers 0] [-mip-workers 0]
-//	            [-drain-timeout 30s] [-quiet]
+//	            [-drain-timeout 30s] [-persist-fault-seed 0]
+//	            [-persist-fault-rate 0.25] [-quiet]
 //
 // Endpoints:
 //
 //	POST /v1/schedule   body: DAG in the text format (see internal/graph);
 //	                    query: p, r | rfactor, g, l, model=sync|async,
 //	                    deadline_ms
-//	GET  /v1/stats      cache, admission and request counters
+//	GET  /v1/stats      cache, admission, persistence and request counters
 //	GET  /healthz       liveness
 //
 // Repeat submissions of the same DAG and parameters are served from the
 // schedule cache in microseconds, byte-identical to the original
-// deterministic run. SIGINT/SIGTERM drains in-flight requests before
-// exiting (bounded by -drain-timeout).
+// deterministic run. With -cache-path the cache is durable (crash-only:
+// journal-on-store, snapshot-on-drain, recover-on-boot), so even a
+// kill -9 restart comes back warm.
+//
+// SIGINT/SIGTERM drains in-flight requests before exiting (bounded by
+// -drain-timeout); a second SIGINT/SIGTERM during the drain forces an
+// immediate close and a nonzero exit.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/server"
 )
 
@@ -44,6 +51,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8035", "listen address (host:port; port 0 picks a free port)")
 		cacheEntries = flag.Int("cache-entries", 1024, "schedule cache capacity in entries (negative disables caching)")
+		cachePath    = flag.String("cache-path", "", "directory for the durable schedule cache (empty: memory-only); recovered on boot, journaled on store, snapshotted on drain")
 		maxInflight  = flag.Int("max-inflight", 0, "max concurrently computing portfolio runs; excess requests get 429 (0: GOMAXPROCS)")
 		computeTO    = flag.Duration("compute-timeout", 60*time.Second, "server-side budget for one cold portfolio run")
 		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
@@ -52,6 +60,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "portfolio candidate worker pool size (0: GOMAXPROCS); never changes results")
 		mipWork      = flag.Int("mip-workers", 0, "worker pool inside each branch-and-bound tree (0: automatic); never changes results")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining in-flight requests")
+		pfSeed       = flag.Uint64("persist-fault-seed", 0, "seed for deterministic filesystem fault injection into the durable cache (0: off); chaos testing only")
+		pfRate       = flag.Float64("persist-fault-rate", faultinject.DefaultRate, "per-write injection probability when -persist-fault-seed is set")
 		quiet        = flag.Bool("quiet", false, "suppress per-request portfolio logging")
 	)
 	flag.Parse()
@@ -62,8 +72,16 @@ func main() {
 		logf = func(string, ...interface{}) {}
 	}
 
-	srv := server.New(server.Config{
+	var inject *faultinject.Injector
+	if *pfSeed != 0 {
+		inject = faultinject.New(*pfSeed, *pfRate, 0, faultinject.FSModes()...)
+		logger.Printf("persistence fault injection: %s", inject)
+	}
+
+	srv, err := server.New(server.Config{
 		CacheEntries:    *cacheEntries,
+		CachePath:       *cachePath,
+		PersistInject:   inject,
 		MaxInflight:     *maxInflight,
 		ComputeTimeout:  *computeTO,
 		MaxRequestBytes: *maxBody,
@@ -73,6 +91,9 @@ func main() {
 		MIPWorkers:      *mipWork,
 		Logf:            logf,
 	})
+	if err != nil {
+		logger.Fatalf("opening server: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,22 +110,39 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	// Manual signal channel (not NotifyContext): the second signal during
+	// the drain must remain observable.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		logger.Fatalf("serve: %v", err)
-	case <-ctx.Done():
+	case sig := <-sigc:
+		logger.Printf("received %v", sig)
 	}
-	stop()
 
 	logger.Printf("shutting down: draining in-flight requests (budget %v)", *drainTO)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Printf("drain incomplete: %v", err)
+	drained := make(chan error, 1)
+	go func() { drained <- httpSrv.Shutdown(shutdownCtx) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			logger.Printf("shutdown path: drain incomplete (%v)", err)
+		} else {
+			logger.Printf("shutdown path: graceful drain complete")
+		}
+	case sig := <-sigc:
+		// Impatient operator (or supervisor escalating): close now. The
+		// durable cache is crash-only, so skipping the graceful drain
+		// costs a snapshot rotation, never correctness.
+		logger.Printf("shutdown path: second %v during drain, forcing immediate close", sig)
+		httpSrv.Close()
+		srv.Close()
+		os.Exit(1)
 	}
-	srv.Close() // cancel + join background computations
+	srv.Close() // cancel + join background computations, drain the durable cache
 
 	st := srv.Stats()
 	logger.Printf("drained: %d requests served (%d cache hits, %d misses, %d coalesced, %d shed, %d degraded)",

@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,6 +50,14 @@ type Config struct {
 	// ILP method's branch-and-bound trees; results are identical for any
 	// value (deterministic node accounting in package mip). Default 1.
 	MIPWorkers int
+
+	// Checkpoint, when non-nil, makes grid runs resumable: every
+	// completed (instance, method) cell is durably journaled, and cells
+	// whose key — instance fingerprint, method, and the cost-relevant
+	// Config fields — already completed are replayed instead of
+	// recomputed, so a killed run resumed with the same checkpoint file
+	// renders an identical table. nil disables checkpointing.
+	Checkpoint *Checkpoint
 }
 
 // Base returns the paper's main configuration (P=4, r=3·r0, g=1, L=10,
@@ -230,7 +239,21 @@ func Run(name string, insts []workloads.Instance, cfg Config, methods ...Method)
 				if int64(idx) > firstFail.Load() {
 					continue
 				}
-				costs[idx], errs[idx] = runCell(insts[idx/nm], methods[idx%nm], cfg)
+				inst, m := insts[idx/nm], methods[idx%nm]
+				key := cellKey(inst, m, cfg)
+				if cost, ok := cfg.Checkpoint.Lookup(key); ok {
+					costs[idx] = cost
+					continue
+				}
+				costs[idx], errs[idx] = runCell(inst, m, cfg)
+				if errs[idx] == nil {
+					// Commit before moving on: when Record returns the cell
+					// survives kill -9. A failed append only costs
+					// resumability, so the run presses on.
+					if cerr := cfg.Checkpoint.Record(key, costs[idx]); cerr != nil {
+						fmt.Fprintf(os.Stderr, "experiments: checkpointing %s: %v\n", key, cerr)
+					}
+				}
 				if errs[idx] != nil {
 					for {
 						cur := firstFail.Load()

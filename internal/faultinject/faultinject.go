@@ -22,6 +22,23 @@
 // NodeLatency is timing-only (it never changes solver results); the
 // other three change which code path runs, never the bytes a
 // deterministic (node-limited) run produces.
+//
+// Filesystem fault classes, consumed by internal/persist's record log
+// (a persist writer never consults the solver modes and vice versa, so
+// one Injector can drive both):
+//
+//   - TornWrite: a record write is cut at a deterministic byte offset
+//     mid-record and the writer then behaves as crashed (subsequent
+//     writes fail), the on-disk image a kill -9 mid-append leaves;
+//   - ShortWrite: a record write silently loses its tail bytes but the
+//     writer keeps going, so later records land after the gap — the
+//     lost-ack short write a non-checking caller would miss;
+//   - ChecksumFlip: a single deterministic bit of the record's stored
+//     CRC is flipped, the single-bit rot a checksum exists to catch.
+//
+// All three corrupt only what a crash or bit rot could corrupt: bytes
+// at and after the injected record. The recovery scanner must degrade
+// every such image to a valid prefix of the committed record stream.
 package faultinject
 
 import (
@@ -39,6 +56,9 @@ const (
 	SingularFactor
 	NodeLatency
 	SpuriousCancel
+	TornWrite
+	ShortWrite
+	ChecksumFlip
 	numModes
 )
 
@@ -52,17 +72,38 @@ func (m Mode) String() string {
 		return "latency"
 	case SpuriousCancel:
 		return "cancel"
+	case TornWrite:
+		return "torn"
+	case ShortWrite:
+		return "short"
+	case ChecksumFlip:
+		return "flip"
 	}
 	return fmt.Sprintf("Mode(%d)", uint8(m))
 }
 
 // AllModes lists every fault class, in declaration order.
 func AllModes() []Mode {
+	return []Mode{ColdFallback, SingularFactor, NodeLatency, SpuriousCancel,
+		TornWrite, ShortWrite, ChecksumFlip}
+}
+
+// SolverModes lists the fault classes consumed by the solver stack
+// (everything but the filesystem modes).
+func SolverModes() []Mode {
 	return []Mode{ColdFallback, SingularFactor, NodeLatency, SpuriousCancel}
 }
 
+// FSModes lists the filesystem fault classes consumed by
+// internal/persist.
+func FSModes() []Mode {
+	return []Mode{TornWrite, ShortWrite, ChecksumFlip}
+}
+
 // ParseModes parses a comma-separated list of mode names ("cold",
-// "singular", "latency", "cancel") or "all".
+// "singular", "latency", "cancel", "torn", "short", "flip"), "all"
+// (every class), "solver" (the solver classes) or "fs" (the filesystem
+// classes).
 func ParseModes(s string) ([]Mode, error) {
 	if strings.TrimSpace(s) == "" || s == "all" {
 		return AllModes(), nil
@@ -78,8 +119,18 @@ func ParseModes(s string) ([]Mode, error) {
 			modes = append(modes, NodeLatency)
 		case "cancel":
 			modes = append(modes, SpuriousCancel)
+		case "torn":
+			modes = append(modes, TornWrite)
+		case "short":
+			modes = append(modes, ShortWrite)
+		case "flip":
+			modes = append(modes, ChecksumFlip)
+		case "solver":
+			modes = append(modes, SolverModes()...)
+		case "fs":
+			modes = append(modes, FSModes()...)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown mode %q (want cold, singular, latency, cancel, or all)", tok)
+			return nil, fmt.Errorf("faultinject: unknown mode %q (want cold, singular, latency, cancel, torn, short, flip, solver, fs, or all)", tok)
 		}
 	}
 	return modes, nil
@@ -173,6 +224,9 @@ var modeSalt = [numModes]uint64{
 	SingularFactor: 0x516b1a4f4c704af3,
 	NodeLatency:    0x1a7e9c19a7e9c19b,
 	SpuriousCancel: 0x5ca9ce15ca9ce157,
+	TornWrite:      0x70a9d217e0a9d217,
+	ShortWrite:     0x5b0a7f175b0a7f17,
+	ChecksumFlip:   0xc6ec5f11bc6ec5f1,
 }
 
 // splitmix64 is the same finalizing mixer the EXPAND perturbation uses
@@ -188,12 +242,21 @@ func splitmix64(x uint64) uint64 {
 // hit is the single decision primitive: a pure function of
 // (seed, mode, fingerprint, sequence) compared against the rate.
 func (inj *Injector) hit(m Mode, fprint, seq uint64) bool {
+	hit, _ := inj.draw(m, fprint, seq)
+	return hit
+}
+
+// draw extends hit with a deterministic secondary value for modes that
+// need one (where to cut a torn write, which bit to flip): one more
+// splitmix64 round over the decision hash, so the secondary stream is
+// uncorrelated with the yes/no stream.
+func (inj *Injector) draw(m Mode, fprint, seq uint64) (bool, uint64) {
 	if !inj.Enabled(m) {
-		return false
+		return false, 0
 	}
 	h := splitmix64(inj.seed ^ modeSalt[m] ^ splitmix64(fprint^(seq+1)*0x9e3779b97f4a7c15))
 	// Top 53 bits to a uniform float in [0,1).
-	return float64(h>>11)/(1<<53) < inj.rate
+	return float64(h>>11)/(1<<53) < inj.rate, splitmix64(h)
 }
 
 // ForceColdFallback reports whether the warm re-solve identified by
@@ -222,4 +285,41 @@ func (inj *Injector) InjectedLatency(fprint, seq uint64) time.Duration {
 // sequence is seq.
 func (inj *Injector) CancelAt(fprint, seq uint64) bool {
 	return inj.hit(SpuriousCancel, fprint, seq)
+}
+
+// TornWriteLen returns how many of the n bytes of the record write
+// identified by (fprint, seq) actually reach the file before the
+// simulated crash: n when the write is not hit, otherwise a
+// deterministic cut in [0, n-1]. A torn writer must treat a cut write
+// as fatal (the process "died" mid-append).
+func (inj *Injector) TornWriteLen(fprint, seq uint64, n int) int {
+	if hit, v := inj.draw(TornWrite, fprint, seq); hit && n > 0 {
+		return int(v % uint64(n))
+	}
+	return n
+}
+
+// ShortWriteLen returns how many of the n bytes of the record write
+// identified by (fprint, seq) land on disk when the write's tail is
+// silently lost: n when not hit, otherwise a deterministic prefix in
+// [1, n-1]. Unlike TornWriteLen the writer carries on, so later
+// records append after the gap. The cut is never 0 bytes: a write(2)
+// that lands nothing returns an error the caller sees, and a zero-byte
+// gap would leave the next record perfectly aligned — a hole in the
+// stream rather than the invalid tail short writes actually produce.
+func (inj *Injector) ShortWriteLen(fprint, seq uint64, n int) int {
+	if hit, v := inj.draw(ShortWrite, fprint, seq); hit && n > 1 {
+		return 1 + int(v%uint64(n-1))
+	}
+	return n
+}
+
+// FlipChecksumBit returns the bit index (0..31) of the stored CRC to
+// flip for the record write identified by (fprint, seq), or -1 when
+// the record is not hit.
+func (inj *Injector) FlipChecksumBit(fprint, seq uint64) int {
+	if hit, v := inj.draw(ChecksumFlip, fprint, seq); hit {
+		return int(v % 32)
+	}
+	return -1
 }

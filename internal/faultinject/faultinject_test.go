@@ -109,10 +109,14 @@ func TestParseModes(t *testing.T) {
 		want int
 		ok   bool
 	}{
-		{"", 4, true},
-		{"all", 4, true},
+		{"", 7, true},
+		{"all", 7, true},
+		{"solver", 4, true},
+		{"fs", 3, true},
 		{"cold", 1, true},
+		{"torn", 1, true},
 		{"cold,singular", 2, true},
+		{"short,flip", 2, true},
 		{" latency , cancel ", 2, true},
 		{"bogus", 0, false},
 		{"cold,,cancel", 0, false},
@@ -166,4 +170,55 @@ func firstLatencyHit(t *testing.T) uint64 {
 	}
 	t.Fatal("latency injector never fired in 1000 draws at rate 0.5")
 	return 0
+}
+
+// TestFilesystemDraws covers the fs-mode decision surface: draws are
+// pure (same inputs, same outputs), bounded (a cut is always a strict
+// prefix, a bit index always fits the 32-bit CRC), gated by the mode
+// mask, and nil-safe.
+func TestFilesystemDraws(t *testing.T) {
+	inj := New(9, 0.5, 0, FSModes()...)
+	tornHits, shortHits, flipHits := 0, 0, 0
+	for seq := uint64(0); seq < 400; seq++ {
+		const n = 100
+		if k := inj.TornWriteLen(3, seq, n); k != inj.TornWriteLen(3, seq, n) {
+			t.Fatalf("TornWriteLen not pure at seq=%d", seq)
+		} else if k < 0 || k > n {
+			t.Fatalf("TornWriteLen out of range: %d", k)
+		} else if k < n {
+			tornHits++
+		}
+		if k := inj.ShortWriteLen(3, seq, n); k < 0 || k > n {
+			t.Fatalf("ShortWriteLen out of range: %d", k)
+		} else if k < n {
+			shortHits++
+		}
+		if b := inj.FlipChecksumBit(3, seq); b < -1 || b > 31 {
+			t.Fatalf("FlipChecksumBit out of range: %d", b)
+		} else if b >= 0 {
+			flipHits++
+		}
+	}
+	// At rate 0.5 over 400 draws each stream must fire many times; the
+	// exact counts are pinned by determinism, the bound is just sanity.
+	if tornHits < 50 || shortHits < 50 || flipHits < 50 {
+		t.Fatalf("fs draws too rare: torn=%d short=%d flip=%d", tornHits, shortHits, flipHits)
+	}
+
+	// Gating: an injector without the mode never fires it.
+	solverOnly := New(9, 1, 0, SolverModes()...)
+	for seq := uint64(0); seq < 100; seq++ {
+		if solverOnly.TornWriteLen(3, seq, 100) != 100 ||
+			solverOnly.ShortWriteLen(3, seq, 100) != 100 ||
+			solverOnly.FlipChecksumBit(3, seq) != -1 {
+			t.Fatalf("solver-only injector fired an fs mode at seq=%d", seq)
+		}
+	}
+
+	// Nil injector: full writes, no flips.
+	var nilInj *Injector
+	if nilInj.TornWriteLen(1, 1, 10) != 10 || nilInj.ShortWriteLen(1, 1, 10) != 10 ||
+		nilInj.FlipChecksumBit(1, 1) != -1 {
+		t.Fatal("nil injector injected an fs fault")
+	}
 }

@@ -52,6 +52,10 @@ type Cache[V any] struct {
 	shards   []shard[V]
 	perShard int
 	disabled bool
+	// onStore observes every value stored via Add (and hence every
+	// successful Finish): the journal-on-store hook of the persistence
+	// layer. Set once via OnStore before the cache sees traffic.
+	onStore func(key string, val V)
 
 	mu      sync.Mutex
 	flights map[string]*Flight[V]
@@ -147,12 +151,34 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return v, true
 }
 
+// OnStore installs the store hook: fn observes every (key, value) pair
+// stored via Add — and hence every successful Finish — but not entries
+// inserted with Restore. It is invoked outside the shard lock (it may
+// fsync) and may run concurrently from multiple storers. Install it
+// before the cache sees traffic.
+func (c *Cache[V]) OnStore(fn func(key string, val V)) { c.onStore = fn }
+
 // Add stores key→val as the most-recent entry of its shard, evicting the
 // shard's least-recent entry if the shard is full. Re-adding an existing
-// key overwrites it in place.
+// key overwrites it in place. The OnStore hook, if any, observes the
+// store.
 func (c *Cache[V]) Add(key string, val V) {
+	if c.insert(key, val) && c.onStore != nil {
+		c.onStore(key, val)
+	}
+}
+
+// Restore inserts a recovered entry without notifying the OnStore hook:
+// boot-time recovery must not re-journal what the journal just yielded.
+func (c *Cache[V]) Restore(key string, val V) {
+	c.insert(key, val)
+}
+
+// insert is the shared store path; it reports whether the value was
+// actually retained (false when storage is disabled).
+func (c *Cache[V]) insert(key string, val V) bool {
 	if c.disabled {
-		return
+		return false
 	}
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -161,7 +187,7 @@ func (c *Cache[V]) Add(key string, val V) {
 		e.val = val
 		s.unlink(e)
 		s.pushFront(e)
-		return
+		return true
 	}
 	if len(s.entries) >= c.perShard {
 		lru := s.head.prev
@@ -172,6 +198,30 @@ func (c *Cache[V]) Add(key string, val V) {
 	e := &entry[V]{key: key, val: val}
 	s.entries[key] = e
 	s.pushFront(e)
+	return true
+}
+
+// KV is one cached entry, as yielded by Dump.
+type KV[V any] struct {
+	Key string
+	Val V
+}
+
+// Dump returns the cache contents, least-recently-used first within
+// each shard (so Restore-ing a dump in order reproduces each shard's
+// recency). It is a point-in-time copy under per-shard locks; the
+// snapshot-on-drain path calls it after traffic has stopped.
+func (c *Cache[V]) Dump() []KV[V] {
+	var out []KV[V]
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.head.prev; e != &s.head; e = e.prev {
+			out = append(out, KV[V]{Key: e.key, Val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Len returns the current number of cached entries.

@@ -190,3 +190,155 @@ func TestConcurrentStress(t *testing.T) {
 		t.Fatalf("bound violated: %d entries", n)
 	}
 }
+
+// TestOnStoreHook: the hook observes every Add (including the store a
+// successful Finish performs) but never a Restore, and runs outside
+// the shard lock (re-entrancy into the cache must not deadlock).
+func TestOnStoreHook(t *testing.T) {
+	c := New[int](Config{Entries: 8, Shards: 1})
+	var mu sync.Mutex
+	stored := map[string]int{}
+	c.OnStore(func(key string, val int) {
+		c.Get(key) // re-entrancy: must not deadlock on the shard lock
+		mu.Lock()
+		stored[key] = val
+		mu.Unlock()
+	})
+	c.Add("a", 1)
+	c.Restore("r", 2)
+	f, leader := c.Flight("b")
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	c.Finish("b", f, 3, nil)
+	fe, _ := c.Flight("e")
+	c.Finish("e", fe, 9, errors.New("boom")) // failed flights store nothing
+	fn, _ := c.Flight("n")
+	c.FinishNoStore("n", fn, 4, nil) // NoStore stores nothing
+	if len(stored) != 2 || stored["a"] != 1 || stored["b"] != 3 {
+		t.Fatalf("hook observed %v, want a=1 b=3 only", stored)
+	}
+	if _, ok := c.Get("r"); !ok {
+		t.Fatal("Restore did not insert")
+	}
+}
+
+// TestOnStoreDisabledStorage: a disabled cache retains nothing, so the
+// hook must see nothing either (nothing to persist).
+func TestOnStoreDisabledStorage(t *testing.T) {
+	c := New[int](Config{Entries: -1})
+	calls := 0
+	c.OnStore(func(string, int) { calls++ })
+	c.Add("a", 1)
+	if calls != 0 {
+		t.Fatalf("hook fired %d times on a disabled cache", calls)
+	}
+}
+
+// TestDumpOrder: Dump yields each shard least-recent first, so
+// restoring a dump in order reproduces the recency order.
+func TestDumpOrder(t *testing.T) {
+	c := New[int](Config{Entries: 4, Shards: 1})
+	for i, k := range []string{"a", "b", "c"} {
+		c.Add(k, i)
+	}
+	c.Get("a") // recency now b < c < a
+	dump := c.Dump()
+	var keys []string
+	for _, kv := range dump {
+		keys = append(keys, kv.Key)
+	}
+	if fmt.Sprint(keys) != "[b c a]" {
+		t.Fatalf("dump order %v, want [b c a]", keys)
+	}
+	// Restore into a fresh cache and overflow it: the LRU entry of the
+	// restored order must be the one evicted.
+	c2 := New[int](Config{Entries: 3, Shards: 1})
+	for _, kv := range dump {
+		c2.Restore(kv.Key, kv.Val)
+	}
+	c2.Add("d", 9)
+	if _, ok := c2.Get("b"); ok {
+		t.Fatal("restored recency lost: b should have been evicted first")
+	}
+	if _, ok := c2.Get("a"); !ok {
+		t.Fatal("most-recent restored entry evicted")
+	}
+}
+
+// TestEvictionUnderFlightStress is the eviction-under-flight
+// interleaving the basic suite never exercises: a cache far smaller
+// than its key space, hammered by concurrent leaders, followers,
+// readers and direct stores, with a checker asserting the entry-count
+// bound throughout. Every flight must Finish cleanly — including
+// flights whose stored entry is evicted before, during, or immediately
+// after Finish — and every follower must observe its leader's value.
+// The race detector owns the memory-order assertions.
+func TestEvictionUnderFlightStress(t *testing.T) {
+	const (
+		bound   = 8
+		shards  = 2
+		keys    = 100
+		workers = 12
+		iters   = 400
+	)
+	c := New[int](Config{Entries: bound, Shards: shards})
+	var stop atomic.Bool
+	checkerDone := make(chan struct{})
+	go func() {
+		defer close(checkerDone)
+		for !stop.Load() {
+			if n := c.Len(); n > bound {
+				t.Errorf("entry bound exceeded mid-stress: %d > %d", n, bound)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (w*37+i*11)%keys)
+				switch i % 4 {
+				case 0: // direct store, churning the LRU lists
+					c.Add(key, w*iters+i)
+				case 1:
+					c.Get(key)
+				default: // flight: leader finishes (sometimes without store)
+					f, leader := c.Flight(key)
+					if leader {
+						// Churn the shard so this key's entry is evicted
+						// while the flight is still live.
+						for j := 0; j < 4; j++ {
+							c.Add(fmt.Sprintf("evict-%d-%d-%d", w, i, j), j)
+						}
+						if i%8 == 2 {
+							c.FinishNoStore(key, f, i, nil)
+						} else {
+							c.Finish(key, f, i, nil)
+						}
+					}
+					<-f.Done()
+					if _, err := f.Result(); err != nil {
+						t.Errorf("flight for %s failed: %v", key, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-checkerDone
+	if n := c.Len(); n > bound {
+		t.Fatalf("entry bound exceeded after stress: %d > %d", n, bound)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("stress produced no evictions — the interleaving was not exercised")
+	}
+	if st.Runs == 0 || st.Entries > bound {
+		t.Fatalf("implausible stats after stress: %+v", st)
+	}
+}

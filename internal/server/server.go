@@ -35,14 +35,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/mbsp"
+	"mbsp/internal/persist"
 	"mbsp/internal/portfolio"
 	"mbsp/internal/schedcache"
 	"mbsp/internal/wire"
@@ -57,6 +61,17 @@ type Config struct {
 	// CacheEntries bounds the schedule cache (0: schedcache default;
 	// negative: disable caching, keep single-flight).
 	CacheEntries int
+	// CachePath, when set, makes the schedule cache durable: every
+	// stored entry is journaled to this directory (fsync-on-append), a
+	// graceful drain rotates the contents into a snapshot, and boot
+	// recovers whatever a crash or kill left behind — re-validated
+	// against the current configuration before being served. Empty
+	// keeps the cache memory-only.
+	CachePath string
+	// PersistInject threads the deterministic filesystem fault modes
+	// (torn/short/flip) into the persistence writers: chaos harnesses
+	// and tests. nil injects nothing.
+	PersistInject *faultinject.Injector
 	// MaxInflight bounds concurrently admitted portfolio runs; excess
 	// cold requests are shed with 429. 0 selects GOMAXPROCS.
 	MaxInflight int
@@ -127,8 +142,9 @@ func (c Config) withDefaults() Config {
 // Handler, stop with Close (after http.Server.Shutdown has drained the
 // handlers).
 type Server struct {
-	cfg   Config
-	cache *schedcache.Cache[*wire.Response]
+	cfg     Config
+	cache   *schedcache.Cache[*wire.Response]
+	persist *cachePersister // nil when CachePath is empty
 
 	admit chan struct{} // admission semaphore, cap MaxInflight
 
@@ -144,13 +160,21 @@ type Server struct {
 	errored   atomic.Int64 // 4xx/5xx responses other than 429
 	inflight  atomic.Int64 // currently admitted portfolio runs
 	completed atomic.Int64 // 200 responses
+
+	// coldEWMA holds the float64 bits of an exponentially-weighted
+	// moving average of recent cold-run durations (seconds); 0 means no
+	// sample yet. It feeds the Retry-After header on 429s.
+	coldEWMA atomic.Uint64
 }
 
-// New returns a Server ready to serve.
-func New(cfg Config) *Server {
+// New returns a Server ready to serve. The only error source is the
+// durable-cache store (Config.CachePath): opening or recovering it can
+// fail on real I/O errors. On-disk corruption is not an error — it
+// degrades to a counted cold start.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   schedcache.New[*wire.Response](schedcache.Config{Entries: cfg.CacheEntries}),
 		admit:   make(chan struct{}, cfg.MaxInflight),
@@ -158,14 +182,28 @@ func New(cfg Config) *Server {
 		stop:    stop,
 		start:   time.Now(),
 	}
+	if cfg.CachePath != "" {
+		p, err := openPersistence(cfg.CachePath, persist.Options{Inject: cfg.PersistInject},
+			s.cache, s.validateRecovered, cfg.Logf)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.persist = p
+	}
+	return s, nil
 }
 
-// Close cancels and waits for any background computations. Call it
-// after http.Server.Shutdown has drained the handlers; Close does not
-// drain them itself.
+// Close cancels and waits for any background computations, then drains
+// the durable cache (snapshot rotation + store close) if one is
+// configured. Call it after http.Server.Shutdown has drained the
+// handlers; Close does not drain them itself.
 func (s *Server) Close() {
 	s.stop()
 	s.computes.Wait()
+	if s.persist != nil {
+		s.persist.drain(s.cache)
+	}
 }
 
 // Handler returns the HTTP handler for all endpoints.
@@ -296,10 +334,18 @@ func (s *Server) parseRequest(r *http.Request) (*request, error) {
 // portfolio options. The per-request deadline is deliberately absent —
 // it changes how long a requester waits, never the full-fidelity result.
 func (s *Server) cacheKey(req *request) string {
-	return fmt.Sprintf("%016x/%016x/p%d,r%g,g%g,L%g/%s/seed%d,nodes%d",
-		req.g.Fingerprint(), req.g.ExactDigest(),
+	return keyString(
+		fmt.Sprintf("%016x", req.g.Fingerprint()), fmt.Sprintf("%016x", req.g.ExactDigest()),
 		req.arch.P, req.arch.R, req.arch.G, req.arch.L,
 		wire.ModelName(req.model), s.cfg.Seed, s.cfg.ILPNodeLimit)
+}
+
+// keyString is the single definition of the cache-key equation, shared
+// by the live request path (cacheKey) and boot-time re-validation of
+// recovered entries (validateRecovered) so the two cannot drift apart.
+func keyString(fingerprint, digest string, p int, r, g, l float64, model string, seed int64, nodeLimit int) string {
+	return fmt.Sprintf("%s/%s/p%d,r%g,g%g,L%g/%s/seed%d,nodes%d",
+		fingerprint, digest, p, r, g, l, model, seed, nodeLimit)
 }
 
 // portfolioOptions is the deterministic configuration every computation
@@ -380,7 +426,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			s.respond(w, started, resp, req.key, provenance, false)
 		case errors.Is(ferr, errOverloaded):
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 			s.writeError(w, http.StatusTooManyRequests, "%v", ferr)
 		default:
 			// The portfolio returns an error only when the instance
@@ -410,7 +456,9 @@ func (s *Server) startCompute(req *request, flight *schedcache.Flight[*wire.Resp
 		defer func() { <-s.admit }()
 		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.ComputeTimeout)
 		defer cancel()
+		computeStart := time.Now()
 		res, err := s.cfg.Compute(ctx, req.g, req.arch, s.portfolioOptions(req.model))
+		s.observeCold(time.Since(computeStart))
 		if err != nil {
 			s.cfg.Logf("server: compute %s failed: %v", req.key, err)
 			s.cache.Finish(req.key, flight, nil, err)
@@ -431,6 +479,45 @@ func (s *Server) startCompute(req *request, flight *schedcache.Flight[*wire.Resp
 		}
 		s.cache.Finish(req.key, flight, resp, nil)
 	}()
+}
+
+// observeCold folds one cold-run duration into the EWMA behind the
+// Retry-After header. 0.8/0.2 blending: a few recent runs dominate, so
+// the hint tracks the current workload mix rather than boot-time
+// history. Lock-free CAS loop; a lost race just drops one sample.
+func (s *Server) observeCold(d time.Duration) {
+	secs := d.Seconds()
+	for {
+		old := s.coldEWMA.Load()
+		next := secs
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*secs
+		}
+		if s.coldEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSecs derives the Retry-After hint for a shed request from
+// the cold-run EWMA, rounded up and clamped to [1, 30] seconds: long
+// enough that a retry has a chance of finding a free slot, short enough
+// that clients do not park for minutes because one huge instance
+// happened by. No samples yet (cold boot straight into overload) falls
+// back to 1s, the old hard-coded hint.
+func (s *Server) retryAfterSecs() int {
+	bits := s.coldEWMA.Load()
+	if bits == 0 {
+		return 1
+	}
+	secs := int(math.Ceil(math.Float64frombits(bits)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func rungOf(res *portfolio.Result) string {
@@ -484,7 +571,11 @@ type StatsSnapshot struct {
 		MaxInflight int   `json:"max_inflight"`
 		Inflight    int64 `json:"inflight"`
 		Shed        int64 `json:"shed"`
+		// RetryAfterSeconds is the hint the next shed request would
+		// receive (EWMA of recent cold-run durations, clamped [1,30]).
+		RetryAfterSeconds int `json:"retry_after_seconds"`
 	} `json:"admission"`
+	Persistence PersistenceStats `json:"persistence"`
 	Requests struct {
 		Accepted  int64 `json:"accepted"`
 		Completed int64 `json:"completed"`
@@ -501,6 +592,10 @@ func (s *Server) Stats() StatsSnapshot {
 	st.Admission.MaxInflight = s.cfg.MaxInflight
 	st.Admission.Inflight = s.inflight.Load()
 	st.Admission.Shed = s.shed.Load()
+	st.Admission.RetryAfterSeconds = s.retryAfterSecs()
+	if s.persist != nil {
+		st.Persistence = s.persist.stats()
+	}
 	st.Requests.Accepted = s.requests.Load()
 	st.Requests.Completed = s.completed.Load()
 	st.Requests.Degraded = s.degraded.Load()

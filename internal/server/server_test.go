@@ -34,6 +34,17 @@ func testConfig() Config {
 	}
 }
 
+// mustNew constructs a Server, failing the test on the (persistence-
+// only) error path.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
 func dagBody(t *testing.T, name string) *bytes.Buffer {
 	t.Helper()
 	inst, err := workloads.ByName(name)
@@ -115,7 +126,7 @@ func waitForGoroutines(t *testing.T, base int) {
 // run on a completely fresh server (the determinism leg of the cache
 // contract).
 func TestCacheHitByteIdentical(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -156,7 +167,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 
 	// Fresh server, same request: the cold run must reproduce the same
 	// bytes, so a hit is indistinguishable from recomputation.
-	srv2 := New(testConfig())
+	srv2 := mustNew(t, testConfig())
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
@@ -201,7 +212,7 @@ func TestSingleFlightCollapsesConcurrentRequests(t *testing.T) {
 	release := make(chan struct{})
 	cfg := testConfig()
 	cfg.Compute = blockingCompute(&invocations, started, release)
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -275,7 +286,7 @@ func TestAdmissionControlSheds(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxInflight = 1
 	cfg.Compute = blockingCompute(&invocations, started, release)
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -342,7 +353,7 @@ func TestDeadlineDegradesNever500(t *testing.T) {
 	release := make(chan struct{})
 	cfg := testConfig()
 	cfg.Compute = blockingCompute(&invocations, started, release)
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -393,7 +404,7 @@ func TestDeadlineDegradesNever500(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxRequestBytes = 1 << 16
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -439,7 +450,7 @@ func TestBadRequests(t *testing.T) {
 // TestHealthAndStats: the liveness and stats endpoints respond, and the
 // stats shape includes the counter groups the smoke script greps for.
 func TestHealthAndStats(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -476,7 +487,7 @@ func TestNoGoroutineLeaksAcrossShutdown(t *testing.T) {
 	release := make(chan struct{}) // never closed: only ctx cancellation frees the stub
 	cfg := testConfig()
 	cfg.Compute = blockingCompute(&invocations, started, release)
-	srv := New(cfg)
+	srv := mustNew(t, cfg)
 	ts := httptest.NewServer(srv.Handler())
 
 	// One request that completes via its deadline while its computation
@@ -502,7 +513,7 @@ func TestNoGoroutineLeaksAcrossShutdown(t *testing.T) {
 // TestDifferentKeysDifferentEntries: the cache key separates
 // architectures, models and DAG content — no false sharing.
 func TestDifferentKeysDifferentEntries(t *testing.T) {
-	srv := New(testConfig())
+	srv := mustNew(t, testConfig())
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

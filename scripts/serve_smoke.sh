@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # End-to-end smoke of the scheduling service (see cmd/mbsp-smoke for the
-# assertions): build mbsp-served, start it on an ephemeral port, run the
-# smoke client against it (cold run, byte-identical cache hit inside its
-# deadline, stats, SIGTERM mid-request), and assert the server drains and
-# exits cleanly.
+# assertions): build mbsp-served, start it on an ephemeral port with a
+# durable cache, run the smoke client against it (cold run,
+# byte-identical cache hit inside its deadline, stats including the
+# persistence counters, SIGTERM mid-request), and assert the server
+# drains and exits cleanly.
 #
 # Usage: scripts/serve_smoke.sh
 set -eu
@@ -16,8 +17,9 @@ go build -o "$tmp/mbsp-served" ./cmd/mbsp-served
 go build -o "$tmp/mbsp-smoke" ./cmd/mbsp-smoke
 
 # A modest node budget keeps the cold run fast; results stay
-# deterministic and cacheable for any value > 0.
-"$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 2> "$tmp/served.log" &
+# deterministic and cacheable for any value > 0. -cache-path makes the
+# smoke assert the persistence counters too.
+"$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 -cache-path "$tmp/cache" 2> "$tmp/served.log" &
 pid=$!
 
 # The server prints its resolved address first thing; poll for it.
@@ -35,7 +37,7 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 
-if ! "$tmp/mbsp-smoke" -base "http://$addr" -pid "$pid"; then
+if ! "$tmp/mbsp-smoke" -base "http://$addr" -pid "$pid" -persist; then
     echo "serve smoke: client assertions failed" >&2
     cat "$tmp/served.log" >&2
     kill "$pid" 2>/dev/null || true
@@ -51,6 +53,11 @@ if ! wait "$pid"; then
 fi
 if ! grep -q "drained:" "$tmp/served.log"; then
     echo "serve smoke: no drain log line" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+if ! grep -q "shutdown path: graceful drain complete" "$tmp/served.log"; then
+    echo "serve smoke: drain did not log its shutdown path" >&2
     cat "$tmp/served.log" >&2
     exit 1
 fi

@@ -17,10 +17,16 @@
 #      nonzero on any non-anytime error, missing certificate or invalid
 #      schedule (the graceful-degradation gate);
 #   4b. the serving smoke (scripts/serve_smoke.sh): start mbsp-served on
-#      an ephemeral port, POST a registry DAG twice and assert the
-#      second response is a cache hit with a byte-identical schedule
-#      inside its deadline, check /healthz and /v1/stats, then SIGTERM
-#      the server mid-request and assert it drains and exits cleanly;
+#      an ephemeral port with a durable cache, POST a registry DAG twice
+#      and assert the second response is a cache hit with a
+#      byte-identical schedule inside its deadline, check /healthz and
+#      /v1/stats (including the persistence counters), then SIGTERM the
+#      server mid-request and assert it drains and exits cleanly;
+#   4c. the crash smoke (scripts/crash_smoke.sh): populate the durable
+#      cache, kill -9 the server and tear the journal's tail mid-record,
+#      restart on the same directory, and assert the recovery counters
+#      plus a warm byte-identical cache hit for the surviving entry and
+#      a cold byte-identical recompute for the torn one;
 #   5. a short benchmark smoke: the portfolio experiment on the tiny
 #      dataset, emitting BENCH_portfolio.json (per-scheduler cost and
 #      timing per instance) so the portfolio's performance trajectory is
@@ -60,6 +66,9 @@ done
 
 echo "== serving smoke: mbsp-served cache hit + graceful drain"
 sh scripts/serve_smoke.sh
+
+echo "== crash smoke: durable cache survives kill -9 + torn journal"
+sh scripts/crash_smoke.sh
 
 echo "== bench smoke: BenchmarkPortfolio (1 iteration)"
 go test -run '^$' -bench '^BenchmarkPortfolio$' -benchtime 1x .
