@@ -57,6 +57,7 @@ func main() {
 		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
 		seed         = flag.Int64("seed", 1, "portfolio seed (part of the cache key)")
 		nodeLimit    = flag.Int("node-limit", server.DefaultNodeLimit, "branch-and-bound node budget; must be > 0 so results are deterministic and cacheable (part of the cache key)")
+		maxRows      = flag.Int("max-model-rows", 0, "holistic-ILP model row cap: larger models skip tree search for the warm-start + local-search fallback (0: the solver default; part of the cache key). Lower it (e.g. 3000) to bound cold-request latency on mid-size DAGs")
 		workers      = flag.Int("workers", 0, "portfolio candidate worker pool size (0: GOMAXPROCS); never changes results")
 		mipWork      = flag.Int("mip-workers", 0, "worker pool inside each branch-and-bound tree (0: automatic); never changes results")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining in-flight requests")
@@ -87,6 +88,7 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		Seed:            *seed,
 		ILPNodeLimit:    *nodeLimit,
+		MaxModelRows:    *maxRows,
 		Workers:         *workers,
 		MIPWorkers:      *mipWork,
 		Logf:            logf,

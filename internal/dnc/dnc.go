@@ -31,6 +31,7 @@ import (
 	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/ilpsched"
+	"mbsp/internal/lp"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/memmgr"
 	"mbsp/internal/mip"
@@ -68,6 +69,9 @@ type Options struct {
 	PartitionNodeLimit int
 	// GreedyPartition switches to the heuristic partitioner (ablation).
 	GreedyPartition bool
+	// MaxModelRows caps each part's scheduling sub-ILP model size
+	// (ilpsched.Options.MaxModelRows). 0 keeps the ilpsched default.
+	MaxModelRows int
 	// MIPWorkers bounds the relaxation-solving worker pool of every
 	// branch-and-bound tree this run searches — the bipartition ILPs of
 	// the partitioning stage and each part's scheduling sub-ILP. The
@@ -89,8 +93,13 @@ type Options struct {
 	// branch-and-bound tree this run searches — the bipartition ILPs and
 	// each part's scheduling sub-ILP.
 	Inject *faultinject.Injector
-	Seed   int64
-	Logf   func(format string, args ...interface{})
+	// LUStats, when non-nil, accumulates the LP factorization counters of
+	// every tree this run searches — the partitioning-stage bipartition
+	// ILPs and each part's scheduling sub-ILP. Observability only; not
+	// part of Stats (see mip.Options.LUStats).
+	LUStats *lp.FactorStats
+	Seed    int64
+	Logf    func(format string, args ...interface{})
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +156,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 		NodeLimit:   opts.PartitionNodeLimit,
 		Workers:     opts.MIPWorkers,
 		Inject:      opts.Inject,
+		LUStats:     opts.LUStats,
 	})
 	if err != nil {
 		return nil, stats, fmt.Errorf("dnc: partitioning: %w", err)
@@ -297,6 +307,8 @@ func schedulePart(g *graph.DAG, arch mbsp.Arch, opts Options, part []int, k int,
 		MIPWorkers:        opts.MIPWorkers,
 		LocalSearchBudget: opts.LocalSearchBudget,
 		Inject:            opts.Inject,
+		LUStats:           opts.LUStats,
+		MaxModelRows:      opts.MaxModelRows,
 		Seed:              opts.Seed + int64(k),
 		Logf:              opts.Logf,
 	})

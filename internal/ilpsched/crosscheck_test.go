@@ -19,6 +19,12 @@ func crossCheckOpts() Options {
 		NodeLimit:         120,
 		LocalSearchBudget: 200,
 		Seed:              7,
+		// Pin the pre-LU row ceiling: the reference stack routes every
+		// relaxation through the dense O(m²)-per-iteration oracle, which
+		// is exactly what the sparse LU core outgrows. Registry models
+		// beyond the dense envelope are covered by the LU-only tests
+		// (TestLargeModelEntersTreeSearch) instead of this comparison.
+		MaxModelRows: 3000,
 	}
 }
 

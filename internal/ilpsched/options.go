@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mbsp/internal/faultinject"
+	"mbsp/internal/lp"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/mip"
 )
@@ -59,9 +60,11 @@ type Options struct {
 	// NodeLimit bounds the search tree size. Default 5000.
 	NodeLimit int
 	// MaxModelRows skips the tree search (keeping warm start + local
-	// search) when the ILP would have more rows than this; the bundled
-	// dense-inverse simplex degrades sharply beyond a few thousand rows.
-	// Default mip.DefaultMaxModelRows.
+	// search) when the ILP would have more rows than this. Since the
+	// sparse LU core the ceiling is a node-budget guard, not an LP-core
+	// one: registry-scale holistic models (thousands of rows) factor and
+	// solve fine, but tree search on them still costs real time. Default
+	// mip.DefaultMaxModelRows.
 	MaxModelRows int
 	// DisableLocalSearch turns off the local-search primal heuristic
 	// (used by ablation benchmarks).
@@ -106,6 +109,11 @@ type Options struct {
 	// Inject threads the deterministic fault-injection harness into the
 	// branch-and-bound tree (mip.Options.Inject); nil disables injection.
 	Inject *faultinject.Injector
+	// LUStats, when non-nil, accumulates the LP factorization counters of
+	// the tree search (mip.Options.LUStats): observability only, never
+	// part of Stats (the counts depend on worker scheduling; Stats stays
+	// byte-identical across MIPWorkers values).
+	LUStats *lp.FactorStats
 }
 
 func (o Options) withDefaults() Options {

@@ -85,6 +85,7 @@ func Solve(g *graph.DAG, arch mbsp.Arch, opts Options) (*mbsp.Schedule, Stats, e
 			ReferenceLP:     opts.LPReference,
 			NoPerturb:       opts.NoPerturb,
 			Inject:          opts.Inject,
+			LUStats:         opts.LUStats,
 			SharedIncumbent: opts.Incumbent,
 			// Publish improving tree-search incumbents mid-search, but
 			// only after extraction and validation: the shared bound must

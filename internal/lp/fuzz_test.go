@@ -28,6 +28,14 @@ func FuzzSolveFrom(f *testing.F) {
 		p := randomLP(rng)
 		n := p.NumVars()
 		in := Prepare(p)
+		// A second instance of the same problem replays every warm solve
+		// from the basis snapshot alone: SolveFrom must be a pure function
+		// of (matrix, basis, bounds, options), so the replica — whose
+		// live factorization history is completely different — must
+		// reproduce each result bit for bit. This is the LU replay-recipe
+		// chain under fuzz: each step's basis carries the previous steps'
+		// eta script.
+		rep := Prepare(p)
 		lb := append([]float64(nil), p.Lb...)
 		ub := append([]float64(nil), p.Ub...)
 		res := in.Solve(lb, ub, Options{})
@@ -57,6 +65,10 @@ func FuzzSolveFrom(f *testing.F) {
 				lb[j], ub[j] = ub[j], lb[j]
 			}
 			warm := in.SolveFrom(basis, lb, ub, Options{})
+			if echo := rep.SolveFrom(basis, lb, ub, Options{}); resultBits(echo) != resultBits(warm) {
+				t.Fatalf("seed %d step %d: replayed solve diverged from live solve\nlive:   %s\nreplay: %s",
+					seed, step, resultBits(warm), resultBits(echo))
+			}
 			cold := SolveDense(&Problem{Obj: p.Obj, Lb: lb, Ub: ub, Rows: p.Rows}, Options{})
 			// The perturbed warm path must agree too: shifts are removed
 			// before a result is reported, so EXPAND is invisible here.

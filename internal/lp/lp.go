@@ -161,14 +161,14 @@ type Options struct {
 	// RefactorEvery rebuilds the basis inverse from scratch after this
 	// many pivots to bound numerical drift (default 128).
 	RefactorEvery int
-	// FreshFactor forces SolveFrom to refactorize from the basis snapshot
-	// even when the snapshot matches the instance's live factorization.
-	// The live factorization carries product-form pivot updates whose
-	// rounding depends on the instance's solve history, so skipping the
-	// hot path makes a SolveFrom result a pure function of (matrix, basis,
-	// bounds). The parallel branch-and-bound sets it so a node relaxation
-	// solves to the same bits on every worker instance, for any worker
-	// count.
+	// FreshFactor forces SolveFrom to reconstruct the factorization from
+	// the basis snapshot even when the snapshot matches the instance's
+	// live factorization. Since the sparse LU core, reconstruction
+	// replays the snapshot's recipe to the same bits the live state
+	// holds, so results are identical either way and branch-and-bound no
+	// longer needs the flag for determinism — it survives as the
+	// hot-path ablation switch (and for tests pinning hot vs replayed
+	// equality).
 	FreshFactor bool
 	// Perturb enables deterministic EXPAND-style bound perturbation: every
 	// finite working bound is expanded outward by a tiny pseudo-random
@@ -220,20 +220,40 @@ const (
 // Basis is an opaque snapshot of a simplex basis: which variable is basic
 // in each row and the bound status of every structural and slack column.
 // It is returned by optimal solves and accepted by Instance.SolveFrom,
-// which reconstructs the basis inverse by refactorization (or reuses the
-// live factorization when the snapshot is the instance's most recent
-// one). A Basis is immutable and safe to share across goroutines.
+// which reconstructs the sparse LU factorization from the snapshot's
+// replay recipe (or reuses the live factorization when the snapshot is
+// the instance's most recent one — bit-identical either way, see
+// sparse.go). A Basis is immutable and safe to share across goroutines.
 type Basis struct {
 	basic []int32 // length m: variable basic in each row (structural or slack)
 	stat  []vstat // length n+m: status per column
+
+	// Replay recipe: the factorization anchor (the basis that was
+	// factorized from scratch) plus the eta script applied since. A
+	// workspace reconstructs by factorizing anchor and re-running each
+	// script pivot's FTRAN, reproducing the capturing workspace's factor
+	// state bit for bit. anchor == nil means no recipe (reconstruct by
+	// direct refactorization of basic — still deterministic, just never
+	// bit-aliased with a live factorization).
+	anchor []int32
+	script []pivotRec
+}
+
+// pivotRec is one replayable basis change: column `enter` replaced the
+// basic variable at position `leave`.
+type pivotRec struct {
+	enter, leave int32
 }
 
 // clone returns an independent copy (Basis handed to callers must not
-// alias solver workspace).
+// alias solver workspace). The recipe fields are immutable and may be
+// shared.
 func (b *Basis) clone() *Basis {
 	return &Basis{
-		basic: append([]int32(nil), b.basic...),
-		stat:  append([]vstat(nil), b.stat...),
+		basic:  append([]int32(nil), b.basic...),
+		stat:   append([]vstat(nil), b.stat...),
+		anchor: b.anchor,
+		script: b.script,
 	}
 }
 

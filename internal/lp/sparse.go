@@ -31,7 +31,52 @@ type Instance struct {
 	fprint uint64
 
 	ws *spx // lazily allocated, reused across sequential solves
+
+	stats FactorStats // cumulative factorization counters (see Stats)
 }
+
+// FactorStats counts the factorization work an Instance has performed
+// since Prepare. The counters are workspace-level bookkeeping: hot-path
+// reuse and refactorization cadence depend on which solves ran on this
+// instance, so they are deliberately NOT part of Result (whose fields
+// must stay byte-identical across worker schedules) — callers aggregate
+// them out of band (mip.Options.LUStats, the solver benchmark's LU leg).
+type FactorStats struct {
+	Refactors int64 // Markowitz factorizations (cold starts, reconstructions, cadence rebuilds)
+	Replays   int64 // recipe reconstructions that re-applied a nonempty eta script
+	HotSolves int64 // SolveFrom calls that reused the live factorization unchanged
+	EtaPivots int64 // product-form updates appended across all solves
+	Ftrans    int64 // sparse triangular FTRAN solves
+	Btrans    int64 // sparse triangular BTRAN solves
+	// FactorNanos and SolveNanos split the time spent inside the LU
+	// kernel: factorizations vs triangular solves (the benchmark's "FTRAN
+	// time share" reads SolveNanos against the whole solve wall clock).
+	FactorNanos int64
+	SolveNanos  int64
+	// FillNnz and BasisNnz describe the most recent factorization:
+	// nnz(L)+nnz(U) against nnz(B). Their ratio is the fill-in factor the
+	// benchmark gates on.
+	FillNnz  int64
+	BasisNnz int64
+}
+
+// Add accumulates o into st (aggregation across worker instances).
+func (st *FactorStats) Add(o FactorStats) {
+	st.Refactors += o.Refactors
+	st.Replays += o.Replays
+	st.HotSolves += o.HotSolves
+	st.EtaPivots += o.EtaPivots
+	st.Ftrans += o.Ftrans
+	st.Btrans += o.Btrans
+	st.FactorNanos += o.FactorNanos
+	st.SolveNanos += o.SolveNanos
+	if o.FillNnz > 0 {
+		st.FillNnz, st.BasisNnz = o.FillNnz, o.BasisNnz
+	}
+}
+
+// Stats returns the instance's cumulative factorization counters.
+func (in *Instance) Stats() FactorStats { return in.stats }
 
 // Prepare assembles p's rows into an Instance. Subsequent bound changes
 // are passed to Solve/SolveFrom; changes to p itself are not observed.
@@ -103,7 +148,7 @@ func (in *Instance) Fingerprint() uint64 { return in.fprint }
 // phase-1 artificial start, then primal simplex on the true objective.
 func (in *Instance) Solve(lb, ub []float64, opts Options) Result {
 	s := in.workspace(&opts)
-	s.lastBasis = nil // binv is about to be overwritten
+	s.liveBasis = nil // the live factorization is about to be overwritten
 	if !s.resetBounds(lb, ub) {
 		return Result{Status: Infeasible}
 	}
@@ -169,8 +214,14 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 		return res
 	}
 	s := in.workspace(&opts)
-	hot := !opts.FreshFactor && basis == s.lastBasis && s.factorOK
-	s.lastBasis = nil
+	// Hot path: the supplied snapshot is the instance's most recent
+	// capture and the live factorization still matches it — skip
+	// reconstruction entirely. Results are unchanged either way: the live
+	// state is bitwise equal to what reconstruct() would rebuild from the
+	// snapshot's recipe, so hot reuse is purely a speed decision and the
+	// relaxation stays a pure function of (matrix, basis, bounds, seq).
+	hot := !opts.FreshFactor && basis == s.liveBasis && s.factorOK
+	s.liveBasis = nil
 	if !s.resetBounds(lb, ub) {
 		return Result{Status: Infeasible}
 	}
@@ -182,11 +233,14 @@ func (in *Instance) SolveFrom(basis *Basis, lb, ub []float64, opts Options) Resu
 	// exercising the same numerical-failure fallback a real singular basis
 	// would take.
 	singular := opts.Inject != nil && opts.Inject.SingularRefactor(in.fprint, opts.PerturbSeq)
-	if singular || (!hot && !s.refactor()) {
+	if singular || (!hot && !s.reconstruct(basis)) {
 		res := in.Solve(lb, ub, opts)
 		res.ColdRestart = true
 		res.Injected = singular
 		return res
+	}
+	if hot {
+		in.stats.HotSolves++
 	}
 	s.computeXB()
 
@@ -268,14 +322,15 @@ type spx struct {
 	x                     []float64
 	stat                  []vstat
 	basis                 []int
-	binv                  []float64 // m×m, row-major: row i belongs to basis[i]
+	lu                    *luFactor // sparse LU of the basis + product-form eta file
 
 	artRow  []int32 // artificial j = nTot+k sits in row artRow[k]
 	artSign []float64
 
 	y, w, rho, resid []float64
 	gamma            []float64 // Devex reference weights
-	work             []float64 // refactorization scratch, m×m
+	fscratch         []float64 // FTRAN/BTRAN right-hand-side scratch, length m
+	xb               []float64 // computeXB solution scratch, length m
 
 	// Dual ratio-test candidate scratch (Harris pass 2 re-reads what pass
 	// 1 computed instead of re-scanning the columns).
@@ -285,9 +340,20 @@ type spx struct {
 	candIdx []int     // candidate order scratch for the BFRT ratio sort
 	acc     []float64 // accumulated flipped-column updates (dense m-vector)
 
-	lastBasis *Basis // snapshot matching the live factorization, if any
-	factorOK  bool
-	pivots    int // since the last refactorization
+	// Live-factorization identity and the replay recipe. The recipe is
+	// the determinism device: the live factor state is always exactly
+	// factor(anchor) followed by the eta script, each script eta
+	// recomputed as the FTRAN of its entering column at replay time — so
+	// a workspace that reconstructs a captured (anchor, script) recipe
+	// reaches bit-for-bit the same factor state the live path holds, and
+	// hot reuse (skipping reconstruction entirely) cannot change a single
+	// bit of any subsequent result. See DESIGN.md ("Sparse LU core").
+	liveBasis  *Basis     // snapshot matching the live factorization, if any
+	factorOK   bool
+	anchor     []int32    // basis at the factorization anchor; immutable once set
+	script     []pivotRec // pivots applied since the anchor, in order
+	replayable bool       // false when the anchor or script references artificial columns
+	pivots     int        // eta updates since the last refactorization (= len(script))
 
 	opts     *Options
 	eps      float64
@@ -325,10 +391,11 @@ func (in *Instance) workspace(opts *Options) *spx {
 			lbTrue: make([]float64, nTot), ubTrue: make([]float64, nTot),
 			obj2: make([]float64, total), x: make([]float64, total),
 			stat: make([]vstat, total), basis: make([]int, m),
-			binv: make([]float64, m*m), work: make([]float64, m*m),
+			lu:     newLUFactor(m),
 			artRow: make([]int32, 0, m), artSign: make([]float64, 0, m),
 			y: make([]float64, m), w: make([]float64, m),
 			rho: make([]float64, m), resid: make([]float64, m),
+			fscratch: make([]float64, m), xb: make([]float64, m),
 			gamma: make([]float64, total),
 			candJ: make([]int32, 0, total), candA: make([]float64, 0, total),
 			candR: make([]float64, 0, total), candIdx: make([]int, 0, total),
@@ -358,10 +425,11 @@ func (in *Instance) workspace(opts *Options) *spx {
 	s.primalBand = 0 * opts.Eps
 	s.dualBand = 0 * opts.Eps
 	s.dualTol = opts.Eps
-	// lastBasis, factorOK and the pivot count survive between solves so
-	// that SolveFrom can reuse a still-live factorization (the hot path)
-	// and the refactorization cadence tracks drift across short warm
-	// solves.
+	// liveBasis, factorOK, the anchor/script recipe and the pivot count
+	// survive between solves so that SolveFrom can reuse a still-live
+	// factorization (the hot path). The refactorization cadence stays
+	// deterministic because pivots always equals the live script length,
+	// which a reconstructing workspace restores identically.
 	return s
 }
 
@@ -429,9 +497,6 @@ func (s *spx) coldStart() {
 			}
 		}
 	}
-	for k := range s.binv {
-		s.binv[k] = 0
-	}
 	for i := 0; i < m; i++ {
 		sj := in.nStruct + i
 		v := s.x[sj] + r[i]
@@ -439,7 +504,6 @@ func (s *spx) coldStart() {
 			s.x[sj] = clamp(v, s.lb[sj], s.ub[sj])
 			s.basis[i] = sj
 			s.stat[sj] = basic
-			s.binv[i*m+i] = 1
 			continue
 		}
 		resid := r[i] - (s.x[sj] - startValue(s.lb[sj], s.ub[sj]))
@@ -459,10 +523,11 @@ func (s *spx) coldStart() {
 		s.n++
 		s.nArt++
 		s.basis[i] = aj
-		s.binv[i*m+i] = sign
 	}
-	s.factorOK = true
-	s.pivots = 0
+	// The slack/artificial start basis is a ±1 diagonal: its Markowitz
+	// factorization is trivial (m singleton pivots) and can never be
+	// singular.
+	s.refactor()
 }
 
 // installBasis loads statuses and the basic set from a snapshot and snaps
@@ -502,80 +567,88 @@ func (s *spx) installBasis(b *Basis) {
 	}
 }
 
-// refactor rebuilds binv as the explicit inverse of the current basis
-// matrix by Gauss–Jordan elimination with partial pivoting; reports false
+// factorize runs the sparse LU factorization over the basis columns
+// given by basisOf (position → column index), with timing and counter
+// bookkeeping. It does NOT touch the anchor/script recipe — refactor and
+// reconstruct layer that on top.
+func (s *spx) factorize(basisOf func(int) int) bool {
+	t0 := time.Now()
+	ok := s.lu.factor(func(p int) ([]int32, []float64) { return s.col(basisOf(p)) })
+	st := &s.in.stats
+	st.Refactors++
+	st.FactorNanos += int64(time.Since(t0))
+	if ok {
+		st.FillNnz = int64(s.lu.nnzFactor)
+		st.BasisNnz = int64(s.lu.nnzBasis)
+	}
+	s.factorOK = ok
+	return ok
+}
+
+// refactor rebuilds the sparse LU factorization of the current basis
+// matrix, making it the new replay anchor (empty script); reports false
 // when the basis is singular.
 func (s *spx) refactor() bool {
 	m := s.m
 	if m == 0 {
 		s.factorOK = true
 		s.pivots = 0
+		s.script = s.script[:0]
+		s.anchor = emptyAnchor
+		s.replayable = true
 		return true
 	}
-	work := s.work
-	for k := range work {
-		work[k] = 0
+	if !s.factorize(func(p int) int { return s.basis[p] }) {
+		return false
 	}
-	for i := 0; i < m; i++ { // column i of B = column of basis[i]
-		idx, vals := s.col(s.basis[i])
-		for k, row := range idx {
-			work[int(row)*m+i] += vals[k]
-		}
-	}
-	binv := s.binv
-	for k := range binv {
-		binv[k] = 0
-	}
-	for i := 0; i < m; i++ {
-		binv[i*m+i] = 1
-	}
-	for k := 0; k < m; k++ {
-		// Partial pivot: the largest |work[i][k]| among rows i ≥ k.
-		p, best := -1, 1e-10
-		for i := k; i < m; i++ {
-			if a := math.Abs(work[i*m+k]); a > best {
-				p, best = i, a
-			}
-		}
-		if p < 0 {
-			s.factorOK = false
-			return false
-		}
-		if p != k {
-			swapRows(work, m, p, k)
-			swapRows(binv, m, p, k)
-		}
-		d := 1 / work[k*m+k]
-		for c := 0; c < m; c++ {
-			work[k*m+c] *= d
-			binv[k*m+c] *= d
-		}
-		for i := 0; i < m; i++ {
-			if i == k {
-				continue
-			}
-			f := work[i*m+k]
-			if f == 0 {
-				continue
-			}
-			wr, br := work[k*m:k*m+m], binv[k*m:k*m+m]
-			wi, bi := work[i*m:i*m+m], binv[i*m:i*m+m]
-			for c := 0; c < m; c++ {
-				wi[c] -= f * wr[c]
-				bi[c] -= f * br[c]
-			}
+	// Fresh anchor: a new slice every time, so captured recipes may alias
+	// it without copying (it is never mutated again).
+	anchor := make([]int32, m)
+	art := false
+	for i, b := range s.basis {
+		anchor[i] = int32(b)
+		if b >= s.nTot {
+			art = true
 		}
 	}
-	s.factorOK = true
+	s.anchor = anchor
+	s.replayable = !art
+	s.script = s.script[:0]
 	s.pivots = 0
 	return true
 }
 
-func swapRows(a []float64, m, i, j int) {
-	ri, rj := a[i*m:i*m+m], a[j*m:j*m+m]
-	for c := 0; c < m; c++ {
-		ri[c], rj[c] = rj[c], ri[c]
+var emptyAnchor = []int32{}
+
+// reconstruct rebuilds the workspace factorization for a snapshot basis
+// after installBasis. With a recipe it factorizes the snapshot's anchor
+// and replays the eta script — each eta recomputed as the FTRAN of its
+// entering column, which reproduces the capturing workspace's live
+// factor state bit for bit (see the spx field comments). Without a
+// recipe it factorizes the snapshot basis directly. Reports false on a
+// singular basis (the caller falls back to a cold solve).
+func (s *spx) reconstruct(b *Basis) bool {
+	if b.anchor == nil {
+		return s.refactor()
 	}
+	if !s.factorize(func(p int) int { return int(b.anchor[p]) }) {
+		return false
+	}
+	m := s.m
+	for _, rec := range b.script {
+		s.ftran(int(rec.enter), s.w[:m])
+		// No pivot-magnitude check on replay: the capturing workspace
+		// already validated this exact (bitwise-identical) pivot.
+		s.lu.appendEta(int(rec.leave), s.w[:m])
+	}
+	s.anchor = b.anchor // immutable; aliasing is safe
+	s.script = append(s.script[:0], b.script...)
+	s.replayable = true
+	s.pivots = len(b.script)
+	if len(b.script) > 0 {
+		s.in.stats.Replays++
+	}
+	return true
 }
 
 // computeXB recomputes the basic values x_B = B⁻¹(b − N·x_N).
@@ -591,68 +664,70 @@ func (s *spx) computeXB() {
 			}
 		}
 	}
+	s.luFtran(r, s.xb)
 	for i := 0; i < m; i++ {
-		row := s.binv[i*m : i*m+m]
-		v := 0.0
-		for k := 0; k < m; k++ {
-			v += row[k] * r[k]
-		}
-		s.x[s.basis[i]] = v
+		s.x[s.basis[i]] = s.xb[i]
 	}
+}
+
+// luFtran solves B·w = b (b indexed by row, destroyed; w by basis
+// position) against the live factorization, with stats bookkeeping.
+func (s *spx) luFtran(b, w []float64) {
+	t0 := time.Now()
+	s.lu.ftran(b, w)
+	s.in.stats.Ftrans++
+	s.in.stats.SolveNanos += int64(time.Since(t0))
+}
+
+// luBtran solves Bᵀ·y = c (c indexed by basis position, destroyed; y by
+// row) against the live factorization, with stats bookkeeping.
+func (s *spx) luBtran(c, y []float64) {
+	t0 := time.Now()
+	s.lu.btran(c, y)
+	s.in.stats.Btrans++
+	s.in.stats.SolveNanos += int64(time.Since(t0))
 }
 
 // ftran computes w = B⁻¹·a_j.
 func (s *spx) ftran(j int, w []float64) {
 	m := s.m
-	for i := range w[:m] {
-		w[i] = 0
+	b := s.fscratch[:m]
+	for i := range b {
+		b[i] = 0
 	}
 	idx, vals := s.col(j)
 	for k, row := range idx {
-		v := vals[k]
-		c := int(row)
-		for i := 0; i < m; i++ {
-			w[i] += s.binv[i*m+c] * v
-		}
+		b[row] += vals[k]
 	}
+	s.luFtran(b, w)
 }
 
-// ftranDense computes w = B⁻¹·a for a dense right-hand side a, skipping
-// zero entries (a is the sparse accumulation of the BFRT's flipped
-// columns).
+// ftranDense computes w = B⁻¹·a for a dense right-hand side a (a is the
+// sparse accumulation of the BFRT's flipped columns; it is destroyed).
 func (s *spx) ftranDense(a, w []float64) {
-	m := s.m
-	for i := 0; i < m; i++ {
-		w[i] = 0
-	}
-	for k := 0; k < m; k++ {
-		ak := a[k]
-		if ak == 0 {
-			continue
-		}
-		for i := 0; i < m; i++ {
-			w[i] += s.binv[i*m+k] * ak
-		}
-	}
+	s.luFtran(a, w)
 }
 
 // duals computes y = c_B·B⁻¹ for the objective c.
 func (s *spx) duals(c []float64) {
 	m := s.m
-	y := s.y[:m]
-	for i := range y {
-		y[i] = 0
-	}
+	b := s.fscratch[:m]
 	for i := 0; i < m; i++ {
-		cb := c[s.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i*m : i*m+m]
-		for k := 0; k < m; k++ {
-			y[k] += cb * row[k]
-		}
+		b[i] = c[s.basis[i]]
 	}
+	s.luBtran(b, s.y[:m])
+}
+
+// btranRow computes y = (B⁻¹ row r)ᵀ = B⁻ᵀ·e_r — the leaving-row vector
+// the dual ratio test and the Devex update read.
+func (s *spx) btranRow(r int, y []float64) {
+	m := s.m
+	b := s.fscratch[:m]
+	for i := range b {
+		b[i] = 0
+	}
+	b[r] = 1
+	s.luBtran(b, y)
 }
 
 // reducedCost returns c_j − y·a_j.
@@ -665,31 +740,25 @@ func (s *spx) reducedCost(c []float64, j int) float64 {
 	return d
 }
 
-// pivotUpdate applies the standard product-form update to binv after
-// `enter` replaces the basic variable of row `leave`; w = B⁻¹·a_enter.
-// Reports false when the pivot element is numerically unusable.
-func (s *spx) pivotUpdate(leave int, w []float64) bool {
-	m := s.m
-	piv := w[leave]
-	if math.Abs(piv) < s.pivotTol {
+// pivotUpdate appends a product-form eta to the live factorization after
+// `enter` replaces the basic variable of position `leave`; w = B⁻¹·a_enter.
+// The pivot is also recorded on the replay script so captured bases can
+// reconstruct the exact factor state. Reports false when the pivot
+// element is numerically unusable.
+func (s *spx) pivotUpdate(enter, leave int, w []float64) bool {
+	if math.Abs(w[leave]) < s.pivotTol {
 		return false
 	}
-	rowL := s.binv[leave*m : leave*m+m]
-	inv := 1 / piv
-	for k := 0; k < m; k++ {
-		rowL[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == leave || w[i] == 0 {
-			continue
-		}
-		f := w[i]
-		ri := s.binv[i*m : i*m+m]
-		for k := 0; k < m; k++ {
-			ri[k] -= f * rowL[k]
-		}
+	s.lu.appendEta(leave, w)
+	s.script = append(s.script, pivotRec{enter: int32(enter), leave: int32(leave)})
+	if enter >= s.nTot {
+		// An artificial column entered (phase 1): the script is not
+		// replayable in another workspace, whose artificial layout is
+		// rebuilt per solve.
+		s.replayable = false
 	}
 	s.pivots++
+	s.in.stats.EtaPivots++
 	return true
 }
 
@@ -953,11 +1022,11 @@ func (s *spx) primal(c []float64, maxIters int) (Status, int) {
 		gammaEnter := s.gamma[enter]
 		alphaE := w[leave]
 		if devex && !useBland {
-			copy(s.rho[:m], s.binv[leave*m:leave*m+m]) // pre-pivot row
+			s.btranRow(leave, s.rho[:m]) // pre-pivot row
 		}
 		s.stat[enter] = basic
 		s.basis[leave] = enter
-		if !s.pivotUpdate(leave, w) {
+		if !s.pivotUpdate(enter, leave, w) {
 			return IterLimit, it // excluded by the pre-pivot magnitude check
 		}
 		if devex && !useBland {
@@ -1035,7 +1104,7 @@ func (s *spx) dual(maxIters int) (Status, int) {
 		if r < 0 {
 			return Optimal, it
 		}
-		copy(rho, s.binv[r*m:r*m+m])
+		s.btranRow(r, rho)
 		s.duals(s.obj2)
 		// Entering scan: record every admissible nonbasic as a breakpoint
 		// (column, |α|, strict ratio |d|/|α|) for the bound-flipping ratio
@@ -1228,7 +1297,7 @@ func (s *spx) dual(maxIters int) (Status, int) {
 		}
 		s.stat[enter] = basic
 		s.basis[r] = enter
-		if !s.pivotUpdate(r, w) {
+		if !s.pivotUpdate(enter, r, w) {
 			if !s.refactor() {
 				return IterLimit, it
 			}
@@ -1373,8 +1442,19 @@ func (s *spx) result(st Status, iters int, coldRestart bool) Result {
 // slack so the snapshot only references structural and slack columns;
 // when the slack is itself basic elsewhere the basis is not capturable
 // and nil is returned (the caller then cold-starts descendants).
+//
+// The snapshot carries the live factorization's replay recipe
+// (anchor basis + eta script) whenever that recipe is expressible in
+// matrix columns alone. When it is not — artificial columns in the
+// anchor or script, or an artificial swap just now — the workspace
+// re-anchors by refactorizing the swapped (clean) basis, which both
+// restores a valid live factorization and gives the snapshot an
+// empty-script recipe. Either way the captured recipe is a pure function
+// of the solve's inputs, so descendants reconstruct identical factor
+// bits on any workspace.
 func (s *spx) captureBasis() *Basis {
 	m := s.m
+	swapped := false
 	for i := 0; i < m; i++ {
 		if s.basis[i] < s.nTot {
 			continue
@@ -1385,22 +1465,27 @@ func (s *spx) captureBasis() *Basis {
 			return nil
 		}
 		// The artificial sits at zero, so relabeling the row's slack as
-		// basic keeps the same point; a negative artificial sign negates
-		// the corresponding row of the inverse.
+		// basic keeps the same point.
 		s.basis[i] = sj
 		s.stat[sj] = basic
-		if s.artSign[k] < 0 {
-			row := s.binv[i*m : i*m+m]
-			for c := range row {
-				row[c] = -row[c]
-			}
-		}
+		swapped = true
 	}
 	b := &Basis{basic: make([]int32, m), stat: make([]vstat, s.nTot)}
 	for i := 0; i < m; i++ {
 		b.basic[i] = int32(s.basis[i])
 	}
 	copy(b.stat, s.stat[:s.nTot])
-	s.lastBasis = b
+	if swapped || !s.replayable {
+		if !s.refactor() {
+			// Singular after the swap: hand out the snapshot without a
+			// recipe (SolveFrom will fall back to a cold solve) and keep
+			// the hot path off.
+			s.liveBasis = nil
+			return b
+		}
+	}
+	b.anchor = s.anchor // immutable once created; aliasing is safe
+	b.script = append([]pivotRec(nil), s.script...)
+	s.liveBasis = b
 	return b
 }

@@ -215,16 +215,23 @@ type Result struct {
 
 // DefaultMaxModelRows is the shared default row ceiling above which the
 // scheduling front ends (internal/ilpsched, internal/bsp) skip the tree
-// search and keep the warm-start schedule. It was 2600 when warm dual
-// re-solves routinely stalled and fell back to cold solves; with the
-// Harris/BFRT ratio tests and EXPAND perturbation every warm re-solve on
-// the stall fixture finishes inside its budget, and the binding cost at
-// scale is the dense basis inverse (O(rows²) per simplex iteration), not
-// stalling. Measured on the registry workloads: a 2611-row model (pregel
-// P=3) solves its root relaxation in a few hundred iterations and enters
-// the search, while ≳3400-row models cannot finish a root solve within
-// interactive budgets — hence 3000.
-const DefaultMaxModelRows = 3000
+// search and keep the warm-start schedule. The trail: 2600 while warm
+// dual re-solves routinely stalled (fixed by the Harris/BFRT ratio tests
+// and EXPAND perturbation), then 3000 while the basis inverse was a
+// dense m×m matrix and O(rows²) per simplex iteration made ≳3400-row
+// roots unfinishable in interactive budgets. The sparse LU core removed
+// that wall: per-iteration cost is O(nnz of the factors), and the
+// scheduling bases factor with low fill (see BENCH_solver.json's "lu"
+// leg). Measured on the registry workloads: the 4856-row spmv_N7 P=4
+// holistic model — formerly skipped — now builds, factors with ~1.15×
+// fill, and explores a node-limited tree in seconds per node (ilpsched
+// TestLargeModelEntersTreeSearch pins this), and the 9964-row pregel
+// P=4 model factors the same way. The binding cost has moved from the
+// LP core to the node budget callers are willing to spend — a root
+// solve on a ~5000-row model is seconds, not unfinishable — so the
+// default ceiling is 10000; beyond that, root relaxations genuinely
+// outgrow interactive budgets even sparse.
+const DefaultMaxModelRows = 10000
 
 // Options controls the branch-and-bound search.
 type Options struct {
@@ -242,8 +249,8 @@ type Options struct {
 	// engine's deterministic node accounting makes the result — solution
 	// bytes, status, bound, and every counter — identical for any value,
 	// so callers can size the pool purely for throughput; see DESIGN.md.
-	// The effective pool is capped by the wave width and by a workspace
-	// memory budget on very large models. As before, wall-clock limits
+	// The effective pool is capped by the wave width. As before,
+	// wall-clock limits
 	// (TimeLimit, Cancel) cut nondeterministically: runs that must be
 	// reproducible should let NodeLimit bind instead.
 	Workers int
@@ -287,6 +294,15 @@ type Options struct {
 	// Workers value; only the latency mode interacts with wall-clock
 	// limits.
 	Inject *faultinject.Injector
+
+	// LUStats, when non-nil, accumulates the LP factorization counters
+	// (refactorizations, eta pivots, hot reuses, FTRAN/BTRAN counts and
+	// times) summed over every worker instance the search used. It is
+	// observability plumbing, deliberately NOT part of Result: hot-reuse
+	// and refactorization counts depend on which worker solved which node
+	// — scheduling noise — while every Result field is byte-identical
+	// across worker counts.
+	LUStats *lp.FactorStats
 }
 
 // Solve runs branch and bound, minimizing the model objective. The
@@ -324,6 +340,17 @@ func (m *Model) Solve(opts Options) Result {
 	}
 
 	e := newEngine(m, &opts, &res, deadline, logf)
+	if opts.LUStats != nil {
+		// Deferred so every return path (abort, infeasible, optimal)
+		// reports; lazily-created worker slots may be nil.
+		defer func() {
+			for _, inst := range e.insts {
+				if inst != nil {
+					opts.LUStats.Add(inst.Stats())
+				}
+			}
+		}()
+	}
 	func() {
 		// Panic containment: a panic escaping the serial wave loop (heap,
 		// commit, bound materialization) is converted into an aborted

@@ -110,7 +110,7 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		var want string
 		for _, procs := range []int{1, 4} {
 			runtime.GOMAXPROCS(procs)
-			for _, workers := range []int{1, 2, 8} {
+			for _, workers := range []int{1, 2, 4, 8} {
 				res := fx.m.Solve(Options{
 					TimeLimit: time.Minute,
 					NodeLimit: fx.nodeLimit,

@@ -26,11 +26,14 @@ import (
 //     so the admitted tree is the same for any worker count;
 //   - each wave deterministically pops the best (bound, sequence) open
 //     nodes, solves their LP relaxations concurrently — each relaxation
-//     is a pure function of (matrix, parent basis, bounds) because every
-//     worker owns a private lp.Instance and solves with
-//     lp.Options.FreshFactor — and then commits the results serially in
-//     pop order: pruning tests, incumbent updates and child creation all
-//     happen at deterministic points;
+//     is a pure function of (matrix, parent basis, bounds, seq): every
+//     worker owns a private lp.Instance, and the sparse LU core makes a
+//     warm solve from a basis snapshot bit-identical whether it reuses
+//     the worker's live factorization or replays the snapshot's recipe
+//     (see lp/sparse.go), so which worker last touched which basis is
+//     invisible — and then commits the results serially in pop order:
+//     pruning tests, incumbent updates and child creation all happen at
+//     deterministic points;
 //   - incumbent ties break by node sequence, so even equal-cost optima
 //     resolve identically.
 //
@@ -53,13 +56,6 @@ const waveSize = 8
 // auto budget) should clamp to it — workers beyond the wave width sit
 // idle.
 const MaxWorkers = waveSize
-
-// bbWorkspaceBudget caps the total basis-inverse workspace the worker
-// pool may allocate (each lp.Instance workspace holds two dense m×m
-// matrices); the effective worker count shrinks on huge models rather
-// than multiplying a near-gigabyte allocation. Worker-count changes never
-// change results, so the cap is free to depend on the model.
-const bbWorkspaceBudget = 512 << 20
 
 // bbNode is one open node of the tree. Bounds are delta-encoded: a node
 // stores only its own branching decision plus a parent pointer, and a
@@ -154,11 +150,10 @@ func newEngine(m *Model, opts *Options, res *Result, deadline time.Time, logf fu
 	if workers > waveSize {
 		workers = waveSize
 	}
-	if mRows := len(m.prob.Rows); mRows > 0 {
-		if cap := int(bbWorkspaceBudget / (16 * int64(mRows) * int64(mRows))); cap < workers {
-			workers = max(1, cap)
-		}
-	}
+	// The former dense core shrank the pool on large models to cap the
+	// two-dense-m×m-matrix workspaces; LU workspace is O(nnz of the
+	// factors), so the full requested pool is affordable at any model size
+	// and the cap is gone.
 	e := &bbEngine{
 		m: m, opts: opts, res: res,
 		workers:  workers,
@@ -297,7 +292,7 @@ func (e *bbEngine) solveNode(w int, s *bbSlot) {
 	}
 	lpOpts := lp.Options{
 		MaxIters: e.opts.LPMaxIters, Deadline: e.deadline,
-		Cancel: e.opts.Cancel, FreshFactor: true,
+		Cancel: e.opts.Cancel,
 		// EXPAND perturbation keyed to the node's creation sequence: the
 		// shifts are a pure function of (matrix, seq), so the relaxation
 		// result stays a pure function of the node and the determinism

@@ -36,6 +36,12 @@ type BipartitionOptions struct {
 	// harness into the bipartition ILP's branch-and-bound tree
 	// (mip.Options.Inject).
 	Inject *faultinject.Injector
+	// LUStats, when non-nil, accumulates the LP factorization counters of
+	// the tree search (mip.Options.LUStats). Observability only — never
+	// folded into SolverStats, whose fields must stay byte-identical
+	// across Workers values while factorization reuse depends on worker
+	// scheduling.
+	LUStats *lp.FactorStats
 }
 
 // SolverStats accumulates branch-and-bound solver counters across
@@ -159,7 +165,7 @@ func Bipartition(g *graph.DAG, opts BipartitionOptions) (part []int, cut int, op
 	res := m.Solve(mip.Options{
 		TimeLimit: opts.TimeLimit, NodeLimit: opts.NodeLimit,
 		WarmStart: ws, ColdStart: opts.ColdStartLP, Workers: opts.Workers,
-		Inject: opts.Inject,
+		Inject: opts.Inject, LUStats: opts.LUStats,
 	})
 	opts.Stats.add(res)
 	if res.X == nil {
@@ -246,7 +252,10 @@ type RecursiveOptions struct {
 	Workers int
 	// Inject threads the deterministic fault-injection harness into every
 	// bipartition tree.
-	Inject      *faultinject.Injector
+	Inject *faultinject.Injector
+	// LUStats, when non-nil, accumulates LP factorization counters across
+	// every bipartition tree (see BipartitionOptions.LUStats).
+	LUStats     *lp.FactorStats
 	greedyForce bool
 }
 
@@ -294,7 +303,7 @@ func Recursive(g *graph.DAG, opts RecursiveOptions) (Result, error) {
 				MinFraction: opts.MinFraction, TimeLimit: opts.TimeLimit,
 				NodeLimit: opts.NodeLimit, ColdStartLP: opts.ColdStartLP,
 				Workers: opts.Workers, Stats: &res.Solver,
-				Inject: opts.Inject,
+				Inject: opts.Inject, LUStats: opts.LUStats,
 			})
 			res.ILPSolves++
 			if err == nil {

@@ -62,6 +62,17 @@ const recordHeaderSize = 8 // uint32 payload length + uint32 CRC-32C
 // corruption by definition, not a large record.
 const MaxRecordBytes = 1 << 30
 
+// ErrRecordTooLarge is returned (wrapped, match with errors.Is) by
+// Journal.Append and WriteSnapshot for a payload over MaxRecordBytes.
+// Rejecting at write time matters twice over: recovery treats any length
+// field above the bound as corruption and truncates the file there, so
+// an oversized record would be written durably and then silently dropped
+// on the next open — and past 4 GiB the uint32 length field itself would
+// wrap, framing the tail of the payload as garbage "records". Neither
+// failure can be diagnosed at recovery time; this error at append time
+// can.
+var ErrRecordTooLarge = errors.New("persist: record exceeds MaxRecordBytes")
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrInjectedCrash is returned by appends after an injected torn write:
@@ -106,7 +117,7 @@ func (w *recordWriter) writeRecord(payload []byte) error {
 		return ErrInjectedCrash
 	}
 	if len(payload) > MaxRecordBytes {
-		return fmt.Errorf("persist: record of %d bytes exceeds MaxRecordBytes", len(payload))
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrRecordTooLarge, len(payload), MaxRecordBytes)
 	}
 	buf := make([]byte, recordHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))

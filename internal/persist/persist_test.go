@@ -418,3 +418,43 @@ func TestDeterministicInjection(t *testing.T) {
 		t.Fatal("same seed produced different on-disk images")
 	}
 }
+
+// TestOversizedRecordRejected pins the write-time guard at both bounds
+// that make oversized payloads dangerous: just past MaxRecordBytes
+// (recovery would truncate the record as corruption, silently dropping
+// durably-written data) and at 4 GiB (the uint32 length field itself
+// would wrap, reframing the payload's tail as garbage records). Both
+// must fail fast with ErrRecordTooLarge, write nothing, and leave the
+// journal appendable. The payloads are never touched, so the huge
+// allocations stay lazy zero pages.
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	j, err := OpenJournal(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	for _, size := range []int{MaxRecordBytes + 1, 4 << 30} {
+		err := j.Append(make([]byte, size))
+		if !errors.Is(err, ErrRecordTooLarge) {
+			t.Fatalf("Append(%d bytes): got %v, want ErrRecordTooLarge", size, err)
+		}
+		if err := WriteSnapshot(filepath.Join(dir, "snap"), [][]byte{make([]byte, size)}, Options{NoSync: true}); !errors.Is(err, ErrRecordTooLarge) {
+			t.Fatalf("WriteSnapshot(%d bytes): got %v, want ErrRecordTooLarge", size, err)
+		}
+	}
+	// The journal must remain appendable after rejections: an oversized
+	// payload is a caller error, not a writer failure.
+	if err := j.Append(make([]byte, 8)); err != nil {
+		t.Fatalf("append after rejections: %v", err)
+	}
+	if got := j.Records(); got != 1 {
+		t.Fatalf("journal holds %d records, want 1 (rejected appends must write nothing)", got)
+	}
+	// The rejected WriteSnapshot must not have left a snapshot behind.
+	if _, err := os.Stat(filepath.Join(dir, "snap")); !os.IsNotExist(err) {
+		t.Fatalf("rejected snapshot left a file: %v", err)
+	}
+}

@@ -120,6 +120,8 @@ func ILPCandidate() Candidate {
 			MIPWorkers:        opts.MIPWorkers,
 			LocalSearchBudget: opts.LocalSearchBudget,
 			Inject:            opts.Inject,
+			LUStats:           opts.LUStats,
+			MaxModelRows:      opts.MaxModelRows,
 			Seed:              candidateSeed(opts.Seed, "ilp"),
 		}
 		if sh := opts.shared; sh != nil {
@@ -148,6 +150,8 @@ func DNCCandidate(maxPart int) Candidate {
 			MIPWorkers:         opts.MIPWorkers,
 			LocalSearchBudget:  opts.LocalSearchBudget / 4,
 			Inject:             opts.Inject,
+			LUStats:            opts.LUStats,
+			MaxModelRows:       opts.MaxModelRows,
 			Seed:               candidateSeed(opts.Seed, "dnc-ilp"),
 		}
 		if sh := opts.shared; sh != nil {

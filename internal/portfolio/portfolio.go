@@ -31,6 +31,7 @@ import (
 
 	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
+	"mbsp/internal/lp"
 	"mbsp/internal/mbsp"
 	"mbsp/internal/mip"
 	"mbsp/internal/twostage"
@@ -58,6 +59,14 @@ type Options struct {
 	// a generous ILPTimeLimit) when reproducible schedules matter more
 	// than squeezing the budget. 0 keeps the ilpsched default.
 	ILPNodeLimit int
+	// MaxModelRows caps the holistic scheduling ILP's model size: a
+	// model with more rows skips tree search and keeps the warm-start +
+	// local-search path (ilpsched.Options.MaxModelRows; the dnc
+	// candidate's per-part sub-ILPs inherit it too). Since the sparse LU
+	// core the default (mip.DefaultMaxModelRows, 0 here) admits
+	// thousands-of-rows models, whose tree searches take seconds —
+	// latency-sensitive callers (the serving layer) set a smaller cap.
+	MaxModelRows int
 	// MIPWorkers bounds the relaxation-solving worker pool inside each
 	// ILP-based candidate's branch-and-bound trees (mip.Options.Workers).
 	// 0 budgets automatically: the portfolio splits GOMAXPROCS between
@@ -91,6 +100,12 @@ type Options struct {
 	// fingerprint, node sequence, seed), so node-limited chaos runs stay
 	// byte-identical. Nil disables injection.
 	Inject *faultinject.Injector
+	// LUStats, when non-nil, accumulates the LP factorization counters of
+	// every ILP-based candidate's solver stack. Candidates race
+	// concurrently, so Run hands each candidate a private accumulator and
+	// sums them after the pool drains; the counters are observability
+	// only and never influence candidate selection.
+	LUStats *lp.FactorStats
 	// DisableSharedIncumbent turns off the portfolio-wide shared
 	// incumbent. By default every candidate's validated cost — and, for
 	// the ILP, every incumbent found mid-search — feeds a monotone atomic
@@ -260,6 +275,13 @@ func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Resu
 	case opts.MIPWorkers == 0:
 		opts.MIPWorkers = min(mip.MaxWorkers, max(1, runtime.GOMAXPROCS(0)/max(1, workers)))
 	}
+	// Per-candidate factorization accumulators: candidates race, so the
+	// shared opts.LUStats pointer must not be written concurrently; each
+	// candidate gets a private struct, summed after the pool drains.
+	var luPer []lp.FactorStats
+	if opts.LUStats != nil {
+		luPer = make([]lp.FactorStats, len(cands))
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -267,7 +289,11 @@ func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Resu
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res.Candidates[i] = runCandidate(ctx, g, arch, opts, cands[i])
+				copts := opts
+				if luPer != nil {
+					copts.LUStats = &luPer[i]
+				}
+				res.Candidates[i] = runCandidate(ctx, g, arch, copts, cands[i])
 			}
 		}()
 	}
@@ -282,6 +308,9 @@ func Run(ctx context.Context, g *graph.DAG, arch mbsp.Arch, opts Options) (*Resu
 	}
 	close(jobs)
 	wg.Wait()
+	for i := range luPer {
+		opts.LUStats.Add(luPer[i])
+	}
 	res.Interrupted = ctx.Err() != nil
 	res.Elapsed = time.Since(start)
 

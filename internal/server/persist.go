@@ -187,6 +187,6 @@ func (s *Server) validateRecovered(key string, resp *wire.Response) bool {
 	}
 	expect := keyString(resp.DAG.Fingerprint, resp.DAG.Digest,
 		resp.Arch.P, resp.Arch.R, resp.Arch.G, resp.Arch.L,
-		resp.Model, s.cfg.Seed, s.cfg.ILPNodeLimit)
+		resp.Model, s.cfg.Seed, s.cfg.ILPNodeLimit, s.cfg.MaxModelRows)
 	return key == expect
 }

@@ -46,6 +46,7 @@ import (
 	"mbsp/internal/faultinject"
 	"mbsp/internal/graph"
 	"mbsp/internal/mbsp"
+	"mbsp/internal/mip"
 	"mbsp/internal/persist"
 	"mbsp/internal/portfolio"
 	"mbsp/internal/schedcache"
@@ -86,12 +87,21 @@ type Config struct {
 	// ComputeTimeout.
 	MaxDeadline time.Duration
 
-	// Seed, ILPNodeLimit, MIPWorkers and Workers pin the deterministic
-	// portfolio configuration; they are part of the cache key. Seed
-	// defaults to 1; ILPNodeLimit to DefaultNodeLimit (it must be > 0 —
-	// wall-clock-budgeted searches are not cacheable).
+	// Seed, ILPNodeLimit, MaxModelRows, MIPWorkers and Workers pin the
+	// deterministic portfolio configuration; Seed, ILPNodeLimit and
+	// MaxModelRows are part of the cache key (worker counts never change
+	// results). Seed defaults to 1; ILPNodeLimit to DefaultNodeLimit (it
+	// must be > 0 — wall-clock-budgeted searches are not cacheable);
+	// MaxModelRows to mip.DefaultMaxModelRows. Since the sparse LU core
+	// the default admits holistic models of thousands of rows, whose
+	// tree searches take seconds of CPU per cold request — set
+	// MaxModelRows lower (the dense-era 3000 is a good latency-bound
+	// choice) when cold-request latency matters more than schedule
+	// quality on mid-size DAGs; oversized models fall back to the
+	// warm-start + local-search path as before.
 	Seed         int64
 	ILPNodeLimit int
+	MaxModelRows int
 	MIPWorkers   int
 	Workers      int
 
@@ -128,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ILPNodeLimit <= 0 {
 		c.ILPNodeLimit = DefaultNodeLimit
+	}
+	if c.MaxModelRows <= 0 {
+		c.MaxModelRows = mip.DefaultMaxModelRows
 	}
 	if c.Compute == nil {
 		c.Compute = portfolio.RunAnytime
@@ -337,15 +350,18 @@ func (s *Server) cacheKey(req *request) string {
 	return keyString(
 		fmt.Sprintf("%016x", req.g.Fingerprint()), fmt.Sprintf("%016x", req.g.ExactDigest()),
 		req.arch.P, req.arch.R, req.arch.G, req.arch.L,
-		wire.ModelName(req.model), s.cfg.Seed, s.cfg.ILPNodeLimit)
+		wire.ModelName(req.model), s.cfg.Seed, s.cfg.ILPNodeLimit, s.cfg.MaxModelRows)
 }
 
 // keyString is the single definition of the cache-key equation, shared
 // by the live request path (cacheKey) and boot-time re-validation of
 // recovered entries (validateRecovered) so the two cannot drift apart.
-func keyString(fingerprint, digest string, p int, r, g, l float64, model string, seed int64, nodeLimit int) string {
-	return fmt.Sprintf("%s/%s/p%d,r%g,g%g,L%g/%s/seed%d,nodes%d",
-		fingerprint, digest, p, r, g, l, model, seed, nodeLimit)
+// MaxModelRows is part of the key: it decides whether a mid-size model
+// gets tree search or the fallback path, so servers with different caps
+// must not share entries.
+func keyString(fingerprint, digest string, p int, r, g, l float64, model string, seed int64, nodeLimit, maxRows int) string {
+	return fmt.Sprintf("%s/%s/p%d,r%g,g%g,L%g/%s/seed%d,nodes%d,rows%d",
+		fingerprint, digest, p, r, g, l, model, seed, nodeLimit, maxRows)
 }
 
 // portfolioOptions is the deterministic configuration every computation
@@ -357,6 +373,7 @@ func (s *Server) portfolioOptions(model mbsp.CostModel) portfolio.Options {
 		MIPWorkers:       s.cfg.MIPWorkers,
 		Seed:             s.cfg.Seed,
 		ILPNodeLimit:     s.cfg.ILPNodeLimit,
+		MaxModelRows:     s.cfg.MaxModelRows,
 		SchedulerTimeout: -1, // the compute context is the only wall clock
 		ILPTimeLimit:     s.cfg.ComputeTimeout,
 		Logf:             s.cfg.Logf,

@@ -24,13 +24,17 @@ import (
 
 // testConfig is the deterministic fast configuration the suite uses:
 // a small node budget keeps cold runs quick while remaining node-limited
-// (and therefore cacheable).
+// (and therefore cacheable). MaxModelRows pins the dense-era cap: the
+// sparse LU core admits the suite's spmv_N6 P=2 model (3215 rows) into
+// tree search, which costs ~10s of CPU per cold run — fine for a real
+// server, far too slow for a suite full of cold runs.
 func testConfig() Config {
 	return Config{
 		CacheEntries: 64,
 		MaxInflight:  2,
 		Seed:         1,
 		ILPNodeLimit: 200,
+		MaxModelRows: 3000,
 	}
 }
 

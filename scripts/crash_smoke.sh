@@ -31,7 +31,7 @@ mkdir -p "$state"
 
 start_server() {
     log="$1"
-    "$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 -cache-path "$cache" 2> "$log" &
+    "$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 -max-model-rows 3000 -cache-path "$cache" 2> "$log" &
     pid=$!
     addr=""
     i=0

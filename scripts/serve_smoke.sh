@@ -19,7 +19,7 @@ go build -o "$tmp/mbsp-smoke" ./cmd/mbsp-smoke
 # A modest node budget keeps the cold run fast; results stay
 # deterministic and cacheable for any value > 0. -cache-path makes the
 # smoke assert the persistence counters too.
-"$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 -cache-path "$tmp/cache" 2> "$tmp/served.log" &
+"$tmp/mbsp-served" -addr 127.0.0.1:0 -node-limit 500 -max-model-rows 3000 -cache-path "$tmp/cache" 2> "$tmp/served.log" &
 pid=$!
 
 # The server prints its resolved address first thing; poll for it.

@@ -5,6 +5,8 @@
 #
 #   1. go build ./...
 #   2. go vet ./...
+#   2b. staticcheck ./...  (skipped with a warning when the binary is
+#       not installed — the container image does not ship it);
 #   3. go test -race ./...  (includes the solver cross-check tests: the
 #      sparse/warm-started simplex against the dense cold-start
 #      reference, the GOMAXPROCS/worker-count determinism suite, and the
@@ -42,7 +44,9 @@
 #      unconditional), or if the degenerate-model leg — the P=1 k-means
 #      stall fixture — loses its EXPAND perturbation wiring or regresses
 #      its deterministic iteration / cold-fallback counts against the
-#      committed baseline.
+#      committed baseline, or if the sparse-LU leg — a >3000-row
+#      scheduling ILP the dense core refused — stops entering tree
+#      search or regresses its fill-in / refactorization counts.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -53,6 +57,13 @@ go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck: not installed, skipping"
+fi
 
 echo "== go test -race ./..."
 go test -race ./...
